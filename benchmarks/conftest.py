@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Benchmarks run the paper's experiments at a scaled-down default
+(``REPRO_SCALE=10`` unless overridden) so the suite completes in CI;
+set ``REPRO_FULL_SCALE=1`` for the paper's full 3500/14000-step lengths.
+
+Each benchmark asserts the *shape* claims of the corresponding figure
+(who wins, by roughly what factor) and prints the rendered figure so the
+output can be compared with the paper side by side.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _default_scale():
+    os.environ.setdefault("REPRO_SCALE", "10")
+    yield
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are end-to-end runs (tens of thousands of operations
+    at full scale); statistical repetition would add nothing but wall
+    time, so rounds/iterations are pinned to 1.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Ablation: HT redundant-link pruning (Section 3.2.4).
+
+The paper: "It is possible to check for and remove such redundant links
+prior to committing ... However, such redundancy is unusual, so this
+extra processing appears not to be worthwhile in most cases."
+
+We measure both regimes: on the paper's workloads (fresh-destination
+copies) pruning saves nothing; on an adversarial nested-copy workload
+(copy a record, then re-copy each of its fields from the same source)
+it saves the inferable links.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.editor import CurationEditor
+from repro.core.provenance import ProvTable
+from repro.core.stores import make_store
+from repro.core.tree import Tree
+from repro.wrappers.memory import MemorySourceDB, MemoryTargetDB
+from repro.bench.experiments import scaled
+from repro.workloads.runner import build_curation_setup, generate_script, run_updates
+
+
+def run_standard(prune: bool) -> int:
+    steps = scaled(3500)
+    sizes = {"n_proteins": max(300, steps // 4), "n_molecules": max(100, steps // 10)}
+    script = generate_script("real", steps, seed=7, **sizes)
+    setup = build_curation_setup("HT", seed=7, prune_redundant=prune, **sizes)
+    result = run_updates(setup, script, txn_length=7)
+    return result.prov_rows
+
+
+def run_adversarial(prune: bool) -> int:
+    """Curator re-copies each field of an already-copied record — every
+    field link is inferable from the record link."""
+    n_records = max(50, scaled(3500) // 7)
+    source = Tree.empty()
+    for index in range(n_records):
+        source.add_child(f"r{index}", Tree.from_dict({"a": 1, "b": 2, "c": 3}))
+    store = make_store("HT", ProvTable(), prune_redundant=prune)
+    editor = CurationEditor(
+        target=MemoryTargetDB("T", Tree.from_dict({"area": {}})),
+        sources=[MemorySourceDB("S", source)],
+        store=store,
+    )
+    for index in range(n_records):
+        editor.copy_paste(f"S/r{index}", f"T/area/r{index}")
+        for field in ("a", "b", "c"):
+            editor.copy_paste(f"S/r{index}/{field}", f"T/area/r{index}/{field}")
+        editor.commit()
+    return store.row_count
+
+
+def run_ablation():
+    return {
+        "standard": {prune: run_standard(prune) for prune in (False, True)},
+        "adversarial": {prune: run_adversarial(prune) for prune in (False, True)},
+    }
+
+
+def test_pruning_ablation(benchmark):
+    results = once(benchmark, run_ablation)
+    print()
+    print("Ablation: HT redundant-link pruning (rows stored)")
+    for workload, by_prune in results.items():
+        print(f"  {workload:12s}: no-prune {by_prune[False]:6d}  "
+              f"prune {by_prune[True]:6d}")
+
+    # the paper's judgement: on realistic workloads pruning buys nothing
+    standard = results["standard"]
+    assert standard[True] == standard[False]
+
+    # but when copies nest, pruning removes exactly the inferable links
+    adversarial = results["adversarial"]
+    assert adversarial[True] == adversarial[False] // 4  # 1 of 4 links kept

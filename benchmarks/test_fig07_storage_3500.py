@@ -1,0 +1,46 @@
+"""Figure 7: provenance storage after 3500-step update patterns.
+
+Shape claims (Section 4.2):
+
+* inserts and deletes are handled essentially the same by all methods;
+* only copies stress the system: naive and transactional store ~4
+  records per copy, the hierarchical techniques store 1;
+* hierarchical-transactional is the most efficient overall.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.bench import experiment1, render_fig7
+
+
+def test_fig07_storage(benchmark):
+    results = once(benchmark, experiment1)
+    print()
+    print(render_fig7(results))
+
+    rows = {
+        pattern: {method: result.prov_rows for method, result in by_method.items()}
+        for pattern, by_method in results.items()
+    }
+
+    # adds and deletes: all methods within a small factor of each other
+    for pattern in ("add", "delete"):
+        values = rows[pattern]
+        assert max(values.values()) <= 2.0 * min(values.values()), (pattern, values)
+
+    # pure copies: N and T store ~4 records per copy, H and HT store 1
+    copy = rows["copy"]
+    assert copy["N"] == copy["T"]
+    assert copy["H"] == copy["HT"]
+    assert 3.5 <= copy["N"] / copy["H"] <= 4.5
+
+    # the hierarchical-transactional technique is the most compact overall
+    for pattern, values in rows.items():
+        assert values["HT"] <= min(values.values()) * 1.01, (pattern, values)
+
+    # hierarchical stores at most one record per operation: |HProv| <= |U|
+    for pattern, by_method in results.items():
+        assert by_method["H"].prov_rows <= by_method["H"].steps
+        assert by_method["HT"].prov_rows <= by_method["HT"].steps

@@ -1,0 +1,47 @@
+"""Figure 9: average per-operation provenance times (14000-mix run).
+
+Shape claims (Section 4.2):
+
+* dataset (target database) interaction dominates everything;
+* transactional per-operation work is near zero — no store interaction
+  until commit; commits cost ~25% of a database interaction and occur
+  once every 5 steps;
+* naive copies are the most expensive tracked operation (4 rows per
+  statement);
+* hierarchical copies are much cheaper than naive copies, but
+  hierarchical inserts are *more* expensive than naive inserts (the
+  extra existence-check round trip);
+* hierarchical-transactional basic operations stay tiny.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.bench import experiment2, render_fig9
+
+
+def test_fig09_op_times(benchmark):
+    results = once(benchmark, experiment2)
+    print()
+    print(render_fig9(results, pattern="mix"))
+
+    mix = results["mix"]
+    base = mix["N"].avg_ms["target.update"]
+
+    for method, result in mix.items():
+        # the dataset update dominates every provenance operation
+        for category in ("prov.add", "prov.delete", "prov.paste"):
+            assert result.avg_ms.get(category, 0.0) < base, (method, category)
+
+    # transactional: per-op ~ zero, commit ~25% of a dataset interaction
+    transactional = mix["T"]
+    for category in ("prov.add", "prov.delete", "prov.paste"):
+        assert transactional.avg_ms.get(category, 0.0) < 0.01 * base
+    commit = transactional.avg_ms["prov.commit"]
+    assert 0.10 * base <= commit <= 0.40 * base, commit
+
+    # naive copies cost the most; hierarchical copies are much cheaper
+    assert mix["N"].avg_ms["prov.paste"] > 1.8 * mix["H"].avg_ms["prov.paste"]
+    # hierarchical inserts cost more than naive inserts
+    assert mix["H"].avg_ms["prov.add"] > mix["N"].avg_ms["prov.add"]

@@ -1,0 +1,48 @@
+"""Figure 10: provenance overhead per operation, as a percentage of the
+base dataset-manipulation time.
+
+Shape claims (Section 4.2):
+
+* naive: every operation under ~30% of the base time, copies highest
+  ("it can increase the time to process each update by 28%");
+* hierarchical: copies far cheaper than naive's, inserts more expensive
+  than naive's, deletes comparable;
+* transactional: all operations essentially free (<1%);
+* hierarchical-transactional: all basic operations at most ~6%.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.bench import experiment2, render_fig10
+
+
+def test_fig10_overhead(benchmark):
+    results = once(benchmark, experiment2)
+    print()
+    print(render_fig10(results, pattern="mix"))
+
+    mix = results["mix"]
+    overhead = {
+        method: {
+            op: result.overhead_percent(op)
+            for op in ("add", "delete", "paste")
+        }
+        for method, result in mix.items()
+    }
+
+    # naive stays under ~30% for every operation, copies the highest
+    assert all(value <= 35.0 for value in overhead["N"].values()), overhead["N"]
+    assert overhead["N"]["paste"] == max(overhead["N"].values())
+    assert 20.0 <= overhead["N"]["paste"] <= 35.0
+
+    # hierarchical: cheap copies, expensive inserts
+    assert overhead["H"]["paste"] < 0.6 * overhead["N"]["paste"]
+    assert overhead["H"]["add"] > overhead["N"]["add"]
+
+    # transactional: everything under 1%
+    assert all(value < 1.0 for value in overhead["T"].values()), overhead["T"]
+
+    # hierarchical-transactional: all basic operations at most ~6%
+    assert all(value <= 6.0 for value in overhead["HT"].values()), overhead["HT"]

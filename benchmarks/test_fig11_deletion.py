@@ -1,0 +1,48 @@
+"""Figure 11: the effect of deletion patterns on provenance storage.
+
+Shape claims (Section 4.2):
+
+* for naive and hierarchical provenance, deletion simply *adds* records
+  — (acd) >= (ac) for every deletion pattern;
+* for transactional provenance, some deletion patterns result in fewer
+  overall records than even the (ac) run, because data inserted and
+  deleted in the same transaction leaves no trace;
+* hierarchical-transactional displays the most stable behaviour and
+  stores the fewest records for every pattern.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.bench import experiment3, render_fig11
+
+
+def test_fig11_deletion(benchmark):
+    results = once(benchmark, experiment3)
+    print()
+    print(render_fig11(results))
+
+    for policy, variants in results.items():
+        ac = {m: r.prov_rows for m, r in variants["ac"].items()}
+        acd = {m: r.prov_rows for m, r in variants["acd"].items()}
+
+        # deletes only ever add records for the per-operation methods
+        assert acd["N"] >= ac["N"], (policy, ac["N"], acd["N"])
+        assert acd["H"] >= ac["H"], (policy, ac["H"], acd["H"])
+
+        # HT stores the fewest records under every pattern
+        assert acd["HT"] <= min(acd.values()) * 1.01, (policy, acd)
+
+    # transactional cancellation: when deletes target data created in the
+    # same transaction (del-real: the just-copied subtree), the full run
+    # stores fewer records than naive does — deletes *reduced* relative
+    # storage instead of adding to it
+    del_real = results["del-real"]
+    n_growth = (
+        del_real["acd"]["N"].prov_rows - del_real["ac"]["N"].prov_rows
+    )
+    t_growth = (
+        del_real["acd"]["T"].prov_rows - del_real["ac"]["T"].prov_rows
+    )
+    assert t_growth < n_growth, (t_growth, n_growth)

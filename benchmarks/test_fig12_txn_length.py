@@ -1,0 +1,43 @@
+"""Figure 12: the effect of transaction length on processing time
+(hierarchical-transactional method, 3500-step real pattern).
+
+Shape claims (Section 4.2):
+
+* per-operation processing time does not vary much with transaction
+  size;
+* commit time grows approximately linearly with transaction length;
+* the amortized time per operation stays about the same.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.bench import experiment4, render_fig12
+
+
+def test_fig12_txn_length(benchmark):
+    results = once(benchmark, experiment4)
+    print()
+    print(render_fig12(results))
+
+    lengths = sorted(results)
+    assert lengths == [7, 100, 500, 1000]
+
+    # per-operation time is flat in transaction length
+    for op in ("prov.add", "prov.paste"):
+        values = [results[length].avg_ms.get(op, 0.0) for length in lengths]
+        assert max(values) <= 1.5 * min(v for v in values if v > 0) + 1e-9, (op, values)
+
+    # commit time grows roughly linearly with transaction length
+    commits = {length: results[length].avg_ms["prov.commit"] for length in lengths}
+    growth_100 = commits[100] / commits[7]
+    growth_1000 = commits[1000] / commits[100]
+    assert growth_100 > 3.0, commits
+    assert growth_1000 > 3.0, commits
+    # linearity: 10x the transaction length ~ 10x the commit cost (+-2x)
+    assert 5.0 <= growth_1000 <= 20.0, commits
+
+    # amortized per-operation time stays about the same
+    amortized = [results[length].amortized_ms_per_op() for length in lengths]
+    assert max(amortized) <= 2.0 * min(amortized), amortized

@@ -1,0 +1,47 @@
+"""Figure 13: provenance query times (getSrc / getMod / getHist) after a
+14000-step real run, no indexes on the provenance relation.
+
+Shape claims (Section 4.2):
+
+* the transactional stores answer all three queries roughly 2.5x faster
+  than naive (they store fewer records and 7x fewer transactions);
+* hierarchical is modestly (~15%) faster than naive for getSrc and
+  getHist, but ~20% *slower* for getMod (descendant processing);
+* hierarchical-transactional matches transactional for getSrc/getHist
+  while its getMod is only slightly better than naive's.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.bench import experiment5, render_fig13
+
+
+def test_fig13_query_times(benchmark):
+    results = once(benchmark, experiment5)
+    print()
+    print(render_fig13(results))
+
+    src = {method: timing.get_src_ms for method, timing in results.items()}
+    mod = {method: timing.get_mod_ms for method, timing in results.items()}
+    hist = {method: timing.get_hist_ms for method, timing in results.items()}
+
+    # transactional ~2.5x faster than naive on every query
+    for times in (src, hist, mod):
+        speedup = times["N"] / times["T"]
+        assert 1.8 <= speedup <= 4.0, (times, speedup)
+
+    # hierarchical: modestly faster than naive for getSrc/getHist ...
+    assert src["H"] < src["N"]
+    assert hist["H"] < hist["N"]
+    assert src["H"] > 0.6 * src["N"]  # "slightly (15%) faster", not 2.5x
+
+    # ... but slower than naive for getMod
+    assert mod["H"] > mod["N"]
+
+    # HT matches transactional on getSrc/getHist
+    assert abs(src["HT"] - src["T"]) <= 0.25 * src["T"]
+    assert abs(hist["HT"] - hist["T"]) <= 0.25 * hist["T"]
+    # HT's getMod is close to naive's (only slightly better)
+    assert 0.7 * mod["N"] <= mod["HT"] <= 1.3 * mod["N"]

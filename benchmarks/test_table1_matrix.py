@@ -1,0 +1,32 @@
+"""Table 1: the experiment matrix.
+
+Checks that the harness's experiment definitions match the paper's
+summary table and prints it.
+"""
+
+from __future__ import annotations
+
+from repro.bench import EXPERIMENTS, render_table1
+
+
+def test_table1_matrix(benchmark):
+    table = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    print()
+    print(table)
+
+    by_id = {experiment["id"]: experiment for experiment in EXPERIMENTS}
+    assert set(by_id) == {1, 2, 3, 4, 5}
+
+    assert by_id[1]["length"] == 3500
+    assert by_id[1]["patterns"] == ("add", "delete", "copy", "ac-mix", "mix")
+    assert by_id[2]["length"] == 14000
+    assert by_id[2]["patterns"] == ("mix", "real")
+    assert by_id[3]["patterns"] == (
+        "del-random", "del-add", "del-copy", "del-mix", "del-real"
+    )
+    assert by_id[4]["txn_length"] == (7, 100, 500, 1000)
+    assert by_id[4]["methods"] == ("HT",)
+    assert by_id[5]["measured"] == "query time"
+    for experiment in EXPERIMENTS:
+        if experiment["id"] != 4:
+            assert experiment["methods"] == ("N", "H", "T", "HT")

@@ -1,0 +1,127 @@
+"""Quickstart: the paper's motivating scenario (Section 1.1.1, Figure 1).
+
+A molecular biologist keeps a small curated database of proteins
+involved in cholesterol efflux.  She:
+
+  (a) copies protein records for ABC1 and CRP from a SwissProt-like
+      source into her database;
+  (b) renames the copied PTM so it is not confused with PTMs from other
+      sites;
+  (c) copies publication details from OMIM and related data from NCBI;
+  (d) notices a mistake in a PubMed publication number and corrects it.
+
+A year later she finds a discrepancy in a PTM — and *because every
+action was tracked by the provenance-aware editor*, she can ask where
+the data came from instead of discarding it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.common.clock import VirtualClock
+from repro.core.editor import CurationEditor
+from repro.core.network import ProvenanceNetwork
+from repro.core.provenance import ProvTable
+from repro.core.queries import ProvenanceQueries
+from repro.core.stores import make_store
+from repro.core.tree import Tree
+from repro.wrappers.memory import MemorySourceDB, MemoryTargetDB
+
+
+def build_sources():
+    swissprot = Tree.from_dict({
+        "O95477": {
+            "name": "ABC1",
+            "organism": "H.sapiens",
+            "PTM": {"kind": "phosphoserine", "position": 2054},
+        },
+        "P02741": {
+            "name": "CRP",
+            "organism": "H.sapiens",
+            "function": "acute phase response",
+        },
+    })
+    omim = Tree.from_dict({
+        "600046": {
+            "title": "ATP-BINDING CASSETTE, SUBFAMILY A, MEMBER 1",
+            "pubmed": 12504680,
+        },
+    })
+    ncbi = Tree.from_dict({
+        "NP_005493": {"gi": 6512, "refseq_status": "REVIEWED"},
+    })
+    return swissprot, omim, ncbi
+
+
+def main() -> None:
+    swissprot, omim, ncbi = build_sources()
+
+    # MyDB: the biologist's curated target database, initially empty
+    # sections for proteins and publications.
+    mydb = MemoryTargetDB("MyDB", Tree.from_dict({"proteins": {}, "publications": {}}))
+
+    store = make_store("HT", ProvTable(clock=VirtualClock()))
+    editor = CurationEditor(
+        target=mydb,
+        sources=[
+            MemorySourceDB("SwissProt", swissprot),
+            MemorySourceDB("OMIM", omim),
+            MemorySourceDB("NCBI", ncbi),
+        ],
+        store=store,
+    )
+
+    # (a) copy the interesting proteins from SwissProt
+    editor.copy_paste("SwissProt/O95477", "MyDB/proteins/ABC1")
+    editor.copy_paste("SwissProt/P02741", "MyDB/proteins/CRP")
+    editor.commit()
+
+    # (b) fix the new entry so the SwissProt PTM is not confused with
+    #     PTMs found on other sites: move it under a qualified name
+    editor.copy_paste("MyDB/proteins/ABC1/PTM", "MyDB/proteins/ABC1/SwissProt-PTM")
+    editor.delete("MyDB/proteins/ABC1/PTM")
+    editor.commit()
+
+    # (c) copy publication details from OMIM and related data from NCBI
+    editor.copy_paste("OMIM/600046", "MyDB/publications/600046")
+    editor.copy_paste("NCBI/NP_005493", "MyDB/proteins/ABC1/refseq")
+    editor.commit()
+
+    # (d) correct a mistaken PubMed number by hand (an insert of raw data)
+    editor.delete("MyDB/publications/600046/pubmed")
+    editor.insert("MyDB/publications/600046", "pubmed", 12504680)
+    editor.commit()
+
+    print("MyDB after curation:")
+    print(editor.target_tree().render())
+    print()
+
+    # One year later: where did this anomalous PTM come from?
+    queries = ProvenanceQueries(store, target_name="MyDB")
+    ptm = "MyDB/proteins/ABC1/SwissProt-PTM/kind"
+    print(f"Trace of {ptm}:")
+    for step in queries.trace(ptm):
+        print(f"  txn {step.tid:3d}  at {step.loc}  "
+              f"{step.record if step.record else '(unchanged)'}")
+    print()
+    print("Hist (transactions that copied it):", queries.get_hist(ptm))
+    print("Src (transaction that typed it in):", queries.get_src(ptm),
+          "(None: it was copied in, not typed in)")
+    print("Src of the corrected pubmed number:",
+          queries.get_src("MyDB/publications/600046/pubmed"))
+    print("Mod (everything that touched ABC1):",
+          sorted(queries.get_mod("MyDB/proteins/ABC1")))
+    print()
+
+    # Ownership across databases (the Own query of Section 2.2)
+    network = ProvenanceNetwork()
+    network.register("MyDB", store)
+    print(f"Own({ptm}):")
+    for segment in network.own(ptm):
+        print(f"  {segment.database:10s}  {segment.loc}  via {segment.via}")
+
+    print()
+    print(f"Provenance store: {store.row_count} records, {store.byte_size} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""repro — a reproduction of *Provenance Management in Curated Databases*
+(Buneman, Chapman, Cheney; SIGMOD 2006).
+
+The package implements CPDB, the paper's copy-paste provenance system,
+together with every substrate it ran on:
+
+* :mod:`repro.core` — tree data model, the copy-paste update language,
+  the four provenance storage strategies (naive, transactional,
+  hierarchical, hierarchical-transactional), inference, queries, the
+  provenance-aware editor, and the Section 5/6 extensions (archiving,
+  multi-database Own, lost-source recovery, approximate provenance,
+  bulk updates);
+* :mod:`repro.storage` — an embedded relational engine (the MySQL
+  substitute) with SQL subset, indexes, WAL and crash recovery;
+* :mod:`repro.xmldb` — a native keyed tree/XML store (the Timber
+  substitute) with an XPath subset;
+* :mod:`repro.datalog` — a Datalog engine running the paper's query
+  definitions verbatim;
+* :mod:`repro.wrappers` — the Figure 6 contracts over memory,
+  relational, XML, and filesystem databases;
+* :mod:`repro.workloads` / :mod:`repro.bench` — the evaluation: Table 2/3
+  workload generators and the harness regenerating Figures 7-13.
+
+Quick start::
+
+    from repro import CurationEditor, MemorySourceDB, MemoryTargetDB
+    from repro import ProvTable, ProvenanceQueries, Tree, make_store
+
+    editor = CurationEditor(
+        target=MemoryTargetDB("T", Tree.from_dict({"area": {}})),
+        sources=[MemorySourceDB("S", Tree.from_dict({"rec": {"v": 1}}))],
+        store=make_store("HT", ProvTable()),
+    )
+    editor.copy_paste("S/rec", "T/area/rec")
+    editor.commit()
+    ProvenanceQueries(editor.store).get_hist("T/area/rec")  # -> [1]
+"""
+
+from .common.clock import CostModel, VirtualClock
+from .core.archive import VersionArchive
+from .core.editor import CurationEditor, EditorError
+from .core.network import ProvenanceNetwork
+from .core.paths import Path, PathError, ROOT
+from .core.provenance import (
+    OP_COPY,
+    OP_DELETE,
+    OP_INSERT,
+    ProvRecord,
+    ProvTable,
+    ProvenanceStore,
+)
+from .core.queries import ProvenanceQueries, TraceStep
+from .core.recovery import Contributor, RecoveryResult, reconstruct_source
+from .core.stores import (
+    HierarchicalStore,
+    HierarchicalTransactionalStore,
+    NaiveStore,
+    TransactionalStore,
+    make_store,
+)
+from .core.tree import Tree, TreeError, Value
+from .core.updates import (
+    Copy,
+    Delete,
+    Insert,
+    Update,
+    UpdateError,
+    Workspace,
+    apply_sequence,
+    apply_update,
+    parse_script,
+    parse_update,
+)
+from .wrappers import (
+    FileSystemSourceDB,
+    FileSystemTargetDB,
+    MemorySourceDB,
+    MemoryTargetDB,
+    RelationalSourceDB,
+    SourceDB,
+    TargetDB,
+    WrapperError,
+    XMLSourceDB,
+    XMLTargetDB,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # clock
+    "VirtualClock",
+    "CostModel",
+    # data model
+    "Path",
+    "PathError",
+    "ROOT",
+    "Tree",
+    "TreeError",
+    "Value",
+    # update language
+    "Insert",
+    "Delete",
+    "Copy",
+    "Update",
+    "UpdateError",
+    "Workspace",
+    "apply_update",
+    "apply_sequence",
+    "parse_update",
+    "parse_script",
+    # provenance
+    "OP_INSERT",
+    "OP_COPY",
+    "OP_DELETE",
+    "ProvRecord",
+    "ProvTable",
+    "ProvenanceStore",
+    "NaiveStore",
+    "TransactionalStore",
+    "HierarchicalStore",
+    "HierarchicalTransactionalStore",
+    "make_store",
+    "ProvenanceQueries",
+    "TraceStep",
+    # editor & extensions
+    "CurationEditor",
+    "EditorError",
+    "VersionArchive",
+    "ProvenanceNetwork",
+    "Contributor",
+    "RecoveryResult",
+    "reconstruct_source",
+    # wrappers
+    "SourceDB",
+    "TargetDB",
+    "WrapperError",
+    "MemorySourceDB",
+    "MemoryTargetDB",
+    "RelationalSourceDB",
+    "FileSystemSourceDB",
+    "FileSystemTargetDB",
+    "XMLSourceDB",
+    "XMLTargetDB",
+]

@@ -1,0 +1,42 @@
+"""Benchmark harness: the paper's five experiments (Table 1) and report
+rendering for every figure of the evaluation section (Figures 7-13)."""
+
+from .experiments import (
+    EXPERIMENTS,
+    QueryTimes,
+    experiment1,
+    experiment2,
+    experiment3,
+    experiment4,
+    experiment5,
+    scaled,
+)
+from .report import (
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    render_fig13,
+    render_table1,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment1",
+    "experiment2",
+    "experiment3",
+    "experiment4",
+    "experiment5",
+    "QueryTimes",
+    "scaled",
+    "render_table1",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_fig11",
+    "render_fig12",
+    "render_fig13",
+]

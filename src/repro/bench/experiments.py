@@ -1,0 +1,283 @@
+"""The five experiments of Table 1.
+
+===  ======  ===========  ==========================================  =========
+Exp  Length  Txn length   Update pattern                              Methods
+===  ======  ===========  ==========================================  =========
+1    3500    5            add, delete, copy, ac-mix, mix              N H T HT
+2    14000   5            mix, real                                   N H T HT
+3    14000   5            del-random/-add/-mix/-copy/-real            N H T HT
+4    3500    7/100/500/1000  real                                     HT
+5    14000   5            real (then getSrc/getMod/getHist queries)   N H T HT
+===  ======  ===========  ==========================================  =========
+
+Experiments honour ``REPRO_SCALE`` (a divisor, default 10 so the suite is
+CI-friendly) or ``REPRO_FULL_SCALE=1`` for the paper's full lengths.
+Scripts are generated once per (pattern, length) and replayed against
+every method, as the paper did.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.clock import CostModel
+from ..core.paths import Path
+from ..core.queries import ProvenanceQueries
+from ..core.updates import Copy, Insert, Update
+from ..workloads.patterns import DELETION_POLICIES
+from ..workloads.runner import (
+    CurationSetup,
+    RunResult,
+    build_curation_setup,
+    generate_script,
+    run_updates,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "scaled",
+    "experiment1",
+    "experiment2",
+    "experiment3",
+    "experiment4",
+    "experiment5",
+    "QueryTimes",
+]
+
+METHODS = ("N", "H", "T", "HT")
+
+#: Table 1, as data (used by the Table 1 bench and the reports)
+EXPERIMENTS = (
+    {
+        "id": 1, "length": 3500, "txn_length": 5,
+        "patterns": ("add", "delete", "copy", "ac-mix", "mix"),
+        "methods": METHODS, "measured": "space", "figures": ("7",),
+    },
+    {
+        "id": 2, "length": 14000, "txn_length": 5,
+        "patterns": ("mix", "real"),
+        "methods": METHODS, "measured": "space, time", "figures": ("8", "9", "10"),
+    },
+    {
+        "id": 3, "length": 14000, "txn_length": 5,
+        "patterns": DELETION_POLICIES,
+        "methods": METHODS, "measured": "space", "figures": ("11",),
+    },
+    {
+        "id": 4, "length": 3500, "txn_length": (7, 100, 500, 1000),
+        "patterns": ("real",),
+        "methods": ("HT",), "measured": "time", "figures": ("12",),
+    },
+    {
+        "id": 5, "length": 14000, "txn_length": 5,
+        "patterns": ("real",),
+        "methods": METHODS, "measured": "query time", "figures": ("13",),
+    },
+)
+
+
+def scaled(steps: int) -> int:
+    """Apply the REPRO_SCALE / REPRO_FULL_SCALE environment contract."""
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        return steps
+    divisor = float(os.environ.get("REPRO_SCALE", "10"))
+    return max(50, int(steps / divisor))
+
+
+def _sizes_for(steps: int) -> Dict[str, int]:
+    """Source/target sizes proportional to the workload length (the paper
+    used fixed 6 MB / 27 MB datasets; we keep the dataset comfortably
+    larger than the touched region)."""
+    return {
+        "n_proteins": max(300, steps // 4),
+        "n_molecules": max(100, steps // 10),
+    }
+
+
+def _run_all_methods(
+    pattern: str,
+    steps: int,
+    txn_length: int,
+    seed: int = 7,
+    deletion_policy: str = "del-random",
+    methods: Sequence[str] = METHODS,
+    use_indexes: bool = True,
+    updates: Optional[Sequence[Update]] = None,
+) -> Dict[str, RunResult]:
+    sizes = _sizes_for(steps)
+    if updates is None:
+        updates = generate_script(
+            pattern, steps, seed=seed, deletion_policy=deletion_policy, **sizes
+        )
+    results: Dict[str, RunResult] = {}
+    for method in methods:
+        setup = build_curation_setup(method, seed=seed, use_indexes=use_indexes, **sizes)
+        result = run_updates(setup, updates, txn_length=txn_length)
+        result.pattern = pattern
+        results[method] = result
+    return results
+
+
+# ----------------------------------------------------------------------
+# Experiment 1 — Figure 7: storage after 3500-step patterns
+# ----------------------------------------------------------------------
+def experiment1(
+    steps: Optional[int] = None, txn_length: int = 5, seed: int = 7
+) -> Dict[str, Dict[str, RunResult]]:
+    """``{pattern: {method: RunResult}}`` for the five 3500-step patterns."""
+    steps = steps if steps is not None else scaled(3500)
+    out: Dict[str, Dict[str, RunResult]] = {}
+    for pattern in ("add", "delete", "copy", "ac-mix", "mix"):
+        out[pattern] = _run_all_methods(pattern, steps, txn_length, seed=seed)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Experiment 2 — Figures 8, 9, 10: 14000-step mix and real
+# ----------------------------------------------------------------------
+
+#: The real pattern is a 7-operation cycle (copy, 3 adds, 3 deletes of
+#: the copied subtree's elements).  The paper's reported transactional
+#: savings ("only about 25-35% as many records as the naive approach")
+#: require the deletes to cancel against their copy *within one
+#: transaction*, i.e. commits aligned with cycles — a curator naturally
+#: commits after completing one record import.  Table 1 lists transaction
+#: length 5 for experiments 2/5; we use 7 for the real pattern so the
+#: cancellation the paper measured actually occurs (EXPERIMENTS.md
+#: records this deviation).
+REAL_TXN_LENGTH = 7
+
+
+def experiment2(
+    steps: Optional[int] = None, txn_length: int = 5, seed: int = 7
+) -> Dict[str, Dict[str, RunResult]]:
+    steps = steps if steps is not None else scaled(14000)
+    out: Dict[str, Dict[str, RunResult]] = {}
+    for pattern in ("mix", "real"):
+        pattern_txn = REAL_TXN_LENGTH if pattern == "real" else txn_length
+        out[pattern] = _run_all_methods(pattern, steps, pattern_txn, seed=seed)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Experiment 3 — Figure 11: deletion patterns, (ac) vs (acd)
+# ----------------------------------------------------------------------
+def experiment3(
+    steps: Optional[int] = None, txn_length: int = 5, seed: int = 7
+) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
+    """``{policy: {"ac"|"acd": {method: RunResult}}}``.
+
+    The (ac) column runs the same script with the deletes filtered out
+    ("provenance table size when only the adds and copies are
+    performed"); (acd) runs the full script."""
+    steps = steps if steps is not None else scaled(14000)
+    sizes = _sizes_for(steps)
+    out: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
+    for policy in DELETION_POLICIES:
+        script = generate_script(
+            "mix", steps, seed=seed, deletion_policy=policy, **sizes
+        )
+        ac_script = [
+            update for update in script if isinstance(update, (Insert, Copy))
+        ]
+        out[policy] = {
+            "ac": _run_all_methods(policy, steps, txn_length, updates=ac_script),
+            "acd": _run_all_methods(policy, steps, txn_length, updates=script),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Experiment 4 — Figure 12: transaction length vs processing time
+# ----------------------------------------------------------------------
+def experiment4(
+    steps: Optional[int] = None,
+    txn_lengths: Sequence[int] = (7, 100, 500, 1000),
+    seed: int = 7,
+) -> Dict[int, RunResult]:
+    """HT over the 3500-step real pattern at several transaction sizes."""
+    if steps is None:
+        # even when scaled down, the run must span several transactions of
+        # the largest size or the linear-commit-growth shape degenerates
+        steps = max(scaled(3500), 2 * max(txn_lengths))
+    sizes = _sizes_for(steps)
+    script = generate_script("real", steps, seed=seed, **sizes)
+    out: Dict[int, RunResult] = {}
+    for txn_length in txn_lengths:
+        setup = build_curation_setup("HT", seed=seed, **sizes)
+        result = run_updates(setup, script, txn_length=txn_length)
+        result.pattern = "real"
+        out[txn_length] = result
+    return out
+
+
+# ----------------------------------------------------------------------
+# Experiment 5 — Figure 13: provenance query times
+# ----------------------------------------------------------------------
+@dataclass
+class QueryTimes:
+    """Average virtual-clock ms per query, per method."""
+
+    method: str
+    get_src_ms: float
+    get_mod_ms: float
+    get_hist_ms: float
+    store_rows: int
+
+
+def _query_locations(updates: Sequence[Update], count: int, seed: int) -> List[Path]:
+    """Random query locations: roots the curator created (copy and insert
+    destinations), which is where provenance questions are asked."""
+    rng = random.Random(seed)
+    candidates: List[Path] = []
+    for update in updates:
+        if isinstance(update, Copy):
+            candidates.append(update.dst)
+        elif isinstance(update, Insert):
+            candidates.append(update.path.child(update.label))
+    if not candidates:
+        raise ValueError("no query candidates in the script")
+    return [rng.choice(candidates) for _ in range(count)]
+
+
+def experiment5(
+    steps: Optional[int] = None,
+    txn_length: Optional[int] = None,
+    seed: int = 7,
+    n_queries: int = 25,
+) -> Dict[str, QueryTimes]:
+    """Query times after a 14000-step real run, measured without indexes
+    on the provenance relation (the paper's worst case)."""
+    steps = steps if steps is not None else scaled(14000)
+    txn_length = txn_length if txn_length is not None else REAL_TXN_LENGTH
+    sizes = _sizes_for(steps)
+    script = generate_script("real", steps, seed=seed, **sizes)
+    locations = _query_locations(script, n_queries, seed + 13)
+    out: Dict[str, QueryTimes] = {}
+    for method in METHODS:
+        setup = build_curation_setup(
+            method, seed=seed, use_indexes=False, **sizes
+        )
+        run_updates(setup, script, txn_length=txn_length)
+        queries = ProvenanceQueries(setup.store)
+        timings: Dict[str, float] = {}
+        for name, fn in (
+            ("get_src", queries.get_src),
+            ("get_mod", queries.get_mod),
+            ("get_hist", queries.get_hist),
+        ):
+            before = setup.clock.total("prov.query")
+            for loc in locations:
+                fn(loc)
+            timings[name] = (setup.clock.total("prov.query") - before) / len(locations)
+        out[method] = QueryTimes(
+            method=method,
+            get_src_ms=timings["get_src"],
+            get_mod_ms=timings["get_mod"],
+            get_hist_ms=timings["get_hist"],
+            store_rows=setup.table.row_count,
+        )
+    return out

@@ -1,0 +1,192 @@
+"""Render each figure/table of the evaluation as text.
+
+Every renderer prints the same rows/series the paper's figure plots, so
+EXPERIMENTS.md can put paper-claim and measured value side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..workloads.runner import RunResult
+from .experiments import EXPERIMENTS, QueryTimes
+
+__all__ = [
+    "render_table1",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_fig11",
+    "render_fig12",
+    "render_fig13",
+    "format_table",
+]
+
+METHODS = ("N", "H", "T", "HT")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Simple fixed-width table rendering."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    def render_row(row):
+        return "  ".join(str(cell).rjust(width) for cell, width in zip(row, widths))
+    lines = [render_row(headers), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    rows = []
+    for experiment in EXPERIMENTS:
+        txn = experiment["txn_length"]
+        rows.append(
+            (
+                experiment["id"],
+                experiment["length"],
+                ", ".join(map(str, txn)) if isinstance(txn, tuple) else txn,
+                ", ".join(experiment["patterns"]),
+                ", ".join(experiment["methods"]),
+                experiment["measured"],
+                ", ".join(experiment["figures"]),
+            )
+        )
+    return "Table 1: Summary of experiments\n" + format_table(
+        ("Exp", "Upd. Length", "Trans. Length", "Update Pattern", "Prov. Method",
+         "Measured", "Figures"),
+        rows,
+    )
+
+
+def render_fig7(results: Dict[str, Dict[str, RunResult]]) -> str:
+    """Provenance rows per (pattern, method) after the 3500-step runs."""
+    patterns = list(results)
+    rows = [
+        [method] + [results[pattern][method].prov_rows for pattern in patterns]
+        for method in METHODS
+    ]
+    return (
+        "Figure 7: provenance store rows after update patterns\n"
+        + format_table(["Method"] + patterns, rows)
+    )
+
+
+def render_fig8(results: Dict[str, Dict[str, RunResult]]) -> str:
+    """Rows and physical size for the 14000-step mix/real runs."""
+    rows = []
+    for method in METHODS:
+        row = [method]
+        for pattern in ("mix", "real"):
+            result = results[pattern][method]
+            row.append(result.prov_rows)
+            row.append(f"{result.prov_bytes / 1e6:.2f}MB")
+        rows.append(row)
+    return (
+        "Figure 8: provenance store size after 14000-step runs\n"
+        + format_table(
+            ("Method", "mix rows", "mix size", "real rows", "real size"), rows
+        )
+    )
+
+
+def render_fig9(results: Dict[str, Dict[str, RunResult]], pattern: str = "mix") -> str:
+    """Average per-operation times (virtual ms) for the 14000-step run."""
+    rows = []
+    for method in METHODS:
+        result = results[pattern][method]
+        rows.append(
+            (
+                method,
+                f"{result.avg_ms.get('target.update', 0.0):.1f}",
+                f"{result.avg_ms.get('prov.add', 0.0):.1f}",
+                f"{result.avg_ms.get('prov.delete', 0.0):.1f}",
+                f"{result.avg_ms.get('prov.paste', 0.0):.1f}",
+                f"{result.avg_ms.get('prov.commit', 0.0):.1f}",
+            )
+        )
+    return (
+        f"Figure 9: average times (virtual ms) during the 14000-{pattern} run\n"
+        + format_table(
+            ("Method", "Dataset Update", "Add Prov.", "Delete Prov.",
+             "Paste Prov.", "Commit Prov."),
+            rows,
+        )
+    )
+
+
+def render_fig10(results: Dict[str, Dict[str, RunResult]], pattern: str = "mix") -> str:
+    """Provenance overhead per operation as % of dataset-update time."""
+    rows = []
+    for method in METHODS:
+        result = results[pattern][method]
+        rows.append(
+            (
+                method,
+                f"{result.overhead_percent('add'):.1f}%",
+                f"{result.overhead_percent('delete'):.1f}%",
+                f"{result.overhead_percent('paste'):.1f}%",
+            )
+        )
+    return (
+        "Figure 10: provenance overhead per operation (% of base op time)\n"
+        + format_table(("Method", "Add", "Delete", "Copy"), rows)
+    )
+
+
+def render_fig11(results: Dict[str, Dict[str, Dict[str, RunResult]]]) -> str:
+    """Deletion effects: rows for (ac) and (acd) per policy and method."""
+    policies = list(results)
+    headers = ["Method", "Variant"] + policies
+    rows = []
+    for method in METHODS:
+        for variant in ("ac", "acd"):
+            rows.append(
+                [method, variant]
+                + [results[policy][variant][method].prov_rows for policy in policies]
+            )
+    return (
+        "Figure 11: effect of deletion patterns on provenance storage (rows)\n"
+        + format_table(headers, rows)
+    )
+
+
+def render_fig12(results: Dict[int, RunResult]) -> str:
+    """Transaction length vs per-operation processing time (HT, real)."""
+    rows = []
+    for txn_length, result in sorted(results.items()):
+        rows.append(
+            (
+                f"size {txn_length}",
+                f"{result.avg_ms.get('prov.add', 0.0):.1f}",
+                f"{result.avg_ms.get('prov.delete', 0.0):.1f}",
+                f"{result.avg_ms.get('prov.paste', 0.0):.1f}",
+                f"{result.avg_ms.get('prov.commit', 0.0):.1f}",
+                f"{result.amortized_ms_per_op():.1f}",
+            )
+        )
+    return (
+        "Figure 12: transaction length vs processing time (virtual ms, HT/real)\n"
+        + format_table(
+            ("Txn length", "Add", "Delete", "Copy", "Commit", "Amortized"), rows
+        )
+    )
+
+
+def render_fig13(results: Dict[str, QueryTimes]) -> str:
+    rows = []
+    for method in METHODS:
+        timing = results[method]
+        rows.append(
+            (
+                method,
+                f"{timing.get_src_ms:.1f}",
+                f"{timing.get_mod_ms:.1f}",
+                f"{timing.get_hist_ms:.1f}",
+                timing.store_rows,
+            )
+        )
+    return (
+        "Figure 13: provenance query times (virtual ms, no indexes)\n"
+        + format_table(("Method", "getSrc", "getMod", "getHist", "rows"), rows)
+    )

@@ -1,0 +1,5 @@
+"""Shared infrastructure: virtual clock and deterministic RNG helpers."""
+
+from .clock import CostModel, VirtualClock
+
+__all__ = ["VirtualClock", "CostModel"]

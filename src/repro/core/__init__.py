@@ -1,0 +1,38 @@
+"""Core of the reproduction: the paper's data model, update language,
+provenance storage strategies, and provenance queries."""
+
+from .paths import Path, PathError, ROOT
+from .tree import Tree, TreeError, Value
+from .updates import (
+    Copy,
+    Delete,
+    Insert,
+    Update,
+    UpdateError,
+    Workspace,
+    apply_sequence,
+    apply_update,
+    format_update,
+    parse_script,
+    parse_update,
+)
+
+__all__ = [
+    "Path",
+    "PathError",
+    "ROOT",
+    "Tree",
+    "TreeError",
+    "Value",
+    "Insert",
+    "Delete",
+    "Copy",
+    "Update",
+    "UpdateError",
+    "Workspace",
+    "apply_update",
+    "apply_sequence",
+    "parse_update",
+    "parse_script",
+    "format_update",
+]

@@ -1,0 +1,110 @@
+"""Queries mixing provenance and raw data (Section 2.2).
+
+The paper sketches queries over both the database and its provenance,
+e.g. projecting a field together with its current provenance::
+
+    Q(x, px) <- R(k, x, y), From(tnow, "R/" + k + "/A", px)
+
+"Such queries are tricky to write by hand, and we are interested in
+providing advanced support for provenance queries" — this module is that
+support: it joins the target's current leaves against the provenance
+store, annotating every value with where it came from.
+
+Two views are provided:
+
+* :func:`from_view` — the paper's ``From(tnow, p, px)``: each leaf with
+  its location in the *previous* version (identity for unchanged data);
+* :func:`origin_view` — the transitively traced ultimate origin of each
+  leaf: an external source location, a local insertion, or pre-tracking
+  data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .paths import Path
+from .provenance import OP_COPY, OP_INSERT
+from .queries import ProvenanceQueries
+from .tree import Tree, Value
+
+__all__ = ["Annotated", "from_view", "origin_view"]
+
+
+@dataclass(frozen=True)
+class Annotated:
+    """One leaf of the target with its provenance annotation.
+
+    ``origin`` is a location (for ``kind="copied"``: the place the data
+    ultimately came from) or ``None``; ``tid`` the relevant transaction
+    (insertion or final copy), or ``None`` for pre-tracking data.
+    """
+
+    loc: Path
+    value: Value
+    kind: str  # "copied" | "inserted" | "initial" | "unchanged"
+    origin: Optional[Path]
+    tid: Optional[int]
+
+
+def _leaves(target_name: str, tree: Tree) -> Iterator[tuple]:
+    for rel, value in tree.leaf_values():
+        yield Path([target_name]).join(rel), value
+
+
+def from_view(
+    tree: Tree,
+    queries: ProvenanceQueries,
+    under: "Path | str | None" = None,
+) -> List[Annotated]:
+    """Each current leaf with its ``From(tnow, p, q)`` annotation: where
+    the data sat at the end of the previous transaction."""
+    out: List[Annotated] = []
+    scope = Path.of(under) if under is not None else None
+    for loc, value in _leaves(queries.target_name, tree):
+        if scope is not None and not scope.is_prefix_of(loc):
+            continue
+        record = queries.effective(queries.tnow, loc)
+        if record is None:
+            out.append(Annotated(loc, value, "unchanged", loc, None))
+        elif record.op == OP_COPY:
+            out.append(Annotated(loc, value, "copied", record.src, record.tid))
+        elif record.op == OP_INSERT:
+            out.append(Annotated(loc, value, "inserted", None, record.tid))
+    return out
+
+
+def origin_view(
+    tree: Tree,
+    queries: ProvenanceQueries,
+    under: "Path | str | None" = None,
+) -> List[Annotated]:
+    """Each current leaf annotated with its *ultimate* origin, obtained
+    by tracing the whole copy chain:
+
+    * ``copied``  — entered the target from an external source (origin =
+      the source location, tid = the transaction that brought it in);
+    * ``inserted`` — typed in by a curator (tid = that transaction);
+    * ``initial`` — predates provenance tracking.
+    """
+    out: List[Annotated] = []
+    scope = Path.of(under) if under is not None else None
+    for loc, value in _leaves(queries.target_name, tree):
+        if scope is not None and not scope.is_prefix_of(loc):
+            continue
+        steps = queries.trace(loc)
+        last = steps[-1] if steps else None
+        if last is None or last.record is None:
+            out.append(Annotated(loc, value, "initial", None, None))
+            continue
+        record = last.record
+        if record.op == OP_INSERT:
+            out.append(Annotated(loc, value, "inserted", None, record.tid))
+        elif record.op == OP_COPY:
+            # chain ended on a copy: either it exited T (external origin)
+            # or stopped at the first recorded transaction
+            out.append(Annotated(loc, value, "copied", record.src, record.tid))
+        else:  # pragma: no cover - deletes never terminate a live trace
+            out.append(Annotated(loc, value, "initial", None, None))
+    return out

@@ -1,0 +1,203 @@
+"""Approximate provenance for bulk updates (Section 6).
+
+A bulk update may touch data proportional to the database size; storing
+exact links would overwhelm the provenance store.  The paper proposes
+storing *pattern* records instead::
+
+    Prov(t, C, T/a/*/b, S/a/*/b)
+
+"this single link may abbreviate a large number of more detailed links";
+storage stays proportional to the size of the update expression.  The
+price is certainty: "we can only say that some data *may* (or *cannot*)
+have come from a given source location."
+
+:class:`ApproxRecord` holds a pair of wildcard patterns whose wildcards
+are positionally aligned (the ``*`` that matched ``T/a/X/b`` binds the
+same ``X`` in ``S/a/*/b``).  :class:`ApproxProvStore` stores them and
+answers the three-valued queries ``may_have_come_from`` /
+``cannot_have_come_from`` and ``possible_sources``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .paths import Path
+from .provenance import OP_COPY, OP_DELETE, OP_INSERT
+
+__all__ = ["PathPattern", "ApproxRecord", "ApproxProvStore"]
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A path with single-label wildcards, e.g. ``T/a/*/b``."""
+
+    labels: Tuple[str, ...]
+
+    WILDCARD = "*"
+
+    @classmethod
+    def parse(cls, text: str) -> "PathPattern":
+        return cls(tuple(Path.parse(text.replace("*", "\x00")).labels)).__normalize()
+
+    def __normalize(self) -> "PathPattern":
+        return PathPattern(tuple(
+            self.WILDCARD if label == "\x00" else label for label in self.labels
+        ))
+
+    @property
+    def wildcard_count(self) -> int:
+        return sum(1 for label in self.labels if label == self.WILDCARD)
+
+    def match(self, path: "Path | str") -> Optional[Tuple[str, ...]]:
+        """Match a concrete path; returns the wildcard bindings in order,
+        or ``None`` on mismatch."""
+        labels = Path.of(path).labels
+        if len(labels) != len(self.labels):
+            return None
+        bindings: List[str] = []
+        for pattern_label, label in zip(self.labels, labels):
+            if pattern_label == self.WILDCARD:
+                bindings.append(label)
+            elif pattern_label != label:
+                return None
+        return tuple(bindings)
+
+    def match_prefix(
+        self, path: "Path | str"
+    ) -> Optional[Tuple[Tuple[str, ...], Path]]:
+        """Match the pattern against a *prefix* of ``path``; returns the
+        wildcard bindings plus the remaining suffix.  A pattern link at a
+        subtree root covers its descendants, exactly like hierarchical
+        provenance inference."""
+        labels = Path.of(path).labels
+        if len(labels) < len(self.labels):
+            return None
+        bindings: List[str] = []
+        for pattern_label, label in zip(self.labels, labels):
+            if pattern_label == self.WILDCARD:
+                bindings.append(label)
+            elif pattern_label != label:
+                return None
+        return tuple(bindings), Path(labels[len(self.labels):])
+
+    def substitute(self, bindings: Sequence[str]) -> Path:
+        """Instantiate the pattern with wildcard bindings, in order."""
+        bindings = list(bindings)
+        labels: List[str] = []
+        for label in self.labels:
+            if label == self.WILDCARD:
+                if not bindings:
+                    raise ValueError(f"not enough bindings for {self}")
+                labels.append(bindings.pop(0))
+            else:
+                labels.append(label)
+        if bindings:
+            raise ValueError(f"too many bindings for {self}")
+        return Path(labels)
+
+    def __str__(self) -> str:
+        return "/".join(self.labels)
+
+
+@dataclass(frozen=True)
+class ApproxRecord:
+    """One approximate provenance link.
+
+    For copies the two patterns must have the same number of wildcards
+    (positionally aligned); ``src`` is ``None`` for inserts/deletes.
+    """
+
+    tid: int
+    op: str
+    loc: PathPattern
+    src: Optional[PathPattern] = None
+
+    def __post_init__(self) -> None:
+        if self.op == OP_COPY:
+            if self.src is None:
+                raise ValueError("approximate copy records need a source pattern")
+            if self.loc.wildcard_count != self.src.wildcard_count:
+                raise ValueError(
+                    "copy patterns must have positionally aligned wildcards: "
+                    f"{self.loc} vs {self.src}"
+                )
+        elif self.src is not None:
+            raise ValueError(f"{self.op} records must not carry a source")
+
+
+class ApproxProvStore:
+    """A store of approximate records with three-valued source queries."""
+
+    def __init__(self) -> None:
+        self._records: List[ApproxRecord] = []
+
+    def add(self, record: ApproxRecord) -> None:
+        self._records.append(record)
+
+    def record_bulk_copy(self, tid: int, dst_pattern: str, src_pattern: str) -> ApproxRecord:
+        record = ApproxRecord(
+            tid, OP_COPY, PathPattern.parse(dst_pattern), PathPattern.parse(src_pattern)
+        )
+        self.add(record)
+        return record
+
+    def record_bulk_delete(self, tid: int, pattern: str) -> ApproxRecord:
+        record = ApproxRecord(tid, OP_DELETE, PathPattern.parse(pattern))
+        self.add(record)
+        return record
+
+    def record_bulk_insert(self, tid: int, pattern: str) -> ApproxRecord:
+        record = ApproxRecord(tid, OP_INSERT, PathPattern.parse(pattern))
+        self.add(record)
+        return record
+
+    def records(self) -> List[ApproxRecord]:
+        return list(self._records)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Three-valued queries
+    # ------------------------------------------------------------------
+    def possible_sources(self, loc: "Path | str") -> List[Tuple[int, Path]]:
+        """Every (tid, source location) the data at ``loc`` *may* have
+        been copied from.  A pattern matching an ancestor of ``loc``
+        contributes the correspondingly extended source (copy links cover
+        subtrees)."""
+        loc = Path.of(loc)
+        out: List[Tuple[int, Path]] = []
+        for record in self._records:
+            if record.op != OP_COPY:
+                continue
+            matched = record.loc.match_prefix(loc)
+            if matched is None:
+                continue
+            bindings, suffix = matched
+            assert record.src is not None
+            out.append((record.tid, record.src.substitute(bindings).join(suffix)))
+        return out
+
+    def may_have_come_from(self, loc: "Path | str", src: "Path | str") -> bool:
+        src = Path.of(src)
+        return any(candidate == src for _tid, candidate in self.possible_sources(loc))
+
+    def cannot_have_come_from(self, loc: "Path | str", src: "Path | str") -> bool:
+        """The definite negative answer approximate provenance *can* give."""
+        return not self.may_have_come_from(loc, src)
+
+    def may_have_been_touched(self, loc: "Path | str") -> List[int]:
+        """Transactions whose bulk operations may have affected ``loc``
+        (a copy/delete of an ancestor region counts)."""
+        loc = Path.of(loc)
+        touched = set()
+        for record in self._records:
+            if record.op == OP_INSERT:
+                if record.loc.match(loc) is not None:
+                    touched.add(record.tid)
+            elif record.loc.match_prefix(loc) is not None:
+                touched.add(record.tid)
+        return sorted(touched)

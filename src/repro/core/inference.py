@@ -1,0 +1,128 @@
+"""The hierarchical-provenance inference view (Section 2.1.3).
+
+The full provenance table ``Prov`` is definable from the hierarchical
+table ``HProv`` by the recursive query::
+
+    Infer(t, p)          <- not exists x, q. HProv(t, x, p, q)
+    Prov(t, op, p, q)    <- HProv(t, op, p, q).
+    Prov(t, C, p/a, q/a) <- Prov(t, C, p, q), Infer(t, p/a).
+    Prov(t, I, p/a, _)   <- Prov(t, I, p, _), Infer(t, p/a).
+    Prov(t, D, p/a, _)   <- Prov(t, D, p, _), Infer(t, p/a).
+
+(The paper prints the guard of the recursive rules as ``Infer(t, p)``;
+as its own prose explains — "the provenance of every target path p/a
+*not mentioned in HProv* is q/a" — the check belongs on the child
+``p/a``, which is what we implement.)
+
+Two forms are provided:
+
+* :func:`infer_at` — the on-the-fly point lookup CPDB actually uses
+  ("Prov is calculated from HProv as necessary for paths in T"): find
+  the nearest ancestor with an explicit record and rebase.  Each
+  ancestor probe is a charged store round trip, which is what makes some
+  queries slower on hierarchical stores (Figure 13).
+* :func:`expand` — materialize the full table for one transaction, given
+  the tree states before and after it (inserted/copied paths are
+  enumerated from the post-state, deleted paths from the pre-state).
+  Tests use this to check that hierarchical stores are lossless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .paths import Path
+from .provenance import OP_COPY, OP_DELETE, OP_INSERT, ProvRecord, ProvTable
+from .tree import Tree
+from .updates import Workspace
+
+__all__ = ["infer_at", "expand", "expand_all"]
+
+
+def infer_at(table: ProvTable, tid: int, loc: Path) -> Optional[ProvRecord]:
+    """Effective provenance record for ``(tid, loc)`` under hierarchical
+    inference: the explicit record if present, otherwise the nearest
+    ancestor's record rebased to ``loc``.  ``None`` means unchanged."""
+    record = table.record_at(tid, loc)
+    if record is not None:
+        return record
+    for ancestor in loc.ancestors():
+        if len(ancestor) < 1:
+            break  # never look above the database root
+        record = table.record_at(tid, ancestor)
+        if record is None:
+            continue
+        if record.op == OP_COPY:
+            assert record.src is not None
+            return ProvRecord(tid, OP_COPY, loc, loc.rebase(ancestor, record.src))
+        return ProvRecord(tid, record.op, loc)
+    return None
+
+
+def _expand_down(
+    record: ProvRecord,
+    subtree: Tree,
+    explicit: Dict[Path, ProvRecord],
+    out: List[ProvRecord],
+) -> None:
+    """Recursively emit inferred child records below ``record.loc``,
+    stopping at locations with their own explicit record."""
+    for label in sorted(subtree.children):
+        child_loc = record.loc.child(label)
+        if child_loc in explicit:
+            continue  # Infer(t, child) fails; the explicit record rules
+        if record.op == OP_COPY:
+            assert record.src is not None
+            child = ProvRecord(record.tid, OP_COPY, child_loc, record.src.child(label))
+        else:
+            child = ProvRecord(record.tid, record.op, child_loc)
+        out.append(child)
+        _expand_down(child, subtree.children[label], explicit, out)
+
+
+def expand(
+    hprov: Iterable[ProvRecord],
+    pre: Workspace,
+    post: Workspace,
+) -> List[ProvRecord]:
+    """Materialize the full provenance table for one transaction.
+
+    ``pre``/``post`` are the workspace states before and after the
+    transaction: copied and inserted regions are enumerated from the
+    post-state, deleted regions from the pre-state.
+    """
+    records = list(hprov)
+    tids = {record.tid for record in records}
+    if len(tids) > 1:
+        raise ValueError(
+            f"expand() handles one transaction at a time, got tids {sorted(tids)}"
+        )
+    explicit = {record.loc: record for record in records}
+    out: List[ProvRecord] = list(records)
+    for record in records:
+        state = pre if record.op == OP_DELETE else post
+        if not state.contains_path(record.loc):
+            continue  # nothing below this location in the relevant state
+        subtree = state.resolve(record.loc)
+        _expand_down(record, subtree, explicit, out)
+    out.sort(key=lambda record: (record.tid, record.loc.sort_key()))
+    return out
+
+
+def expand_all(
+    hprov: Iterable[ProvRecord],
+    states: Dict[int, Workspace],
+) -> List[ProvRecord]:
+    """Expand a multi-transaction hierarchical table.
+
+    ``states[t]`` is the workspace at the *end* of transaction ``t``
+    (``states[t0 - 1]`` being the initial state); transaction ``t``
+    expands against pre-state ``states[t-1]`` and post-state ``states[t]``.
+    """
+    by_tid: Dict[int, List[ProvRecord]] = {}
+    for record in hprov:
+        by_tid.setdefault(record.tid, []).append(record)
+    out: List[ProvRecord] = []
+    for tid in sorted(by_tid):
+        out.extend(expand(by_tid[tid], states[tid - 1], states[tid]))
+    return out

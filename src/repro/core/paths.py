@@ -1,0 +1,231 @@
+"""Path algebra for addressing data elements in edge-labeled trees.
+
+The paper (Section 2) assumes every database can be viewed as a tree whose
+edges are labeled such that a given sequence of labels occurs on at most one
+path from the root.  A *path* ``p`` in ``Sigma*`` therefore addresses at most
+one data element.  Examples from the paper::
+
+    DB/R/tid/F                     -- a field in a relational database
+    SwissProt/Release{20}/Q01780   -- an entry in a versioned flat file
+    T/c2/y                         -- a node in the target tree
+
+This module implements that path algebra: parsing from / rendering to the
+``a/b/c`` concrete syntax, concatenation, prefix tests, parents and suffixes.
+Paths are immutable and hashable so they can key provenance tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+__all__ = ["Label", "Path", "PathError", "ROOT"]
+
+Label = str
+
+
+class PathError(ValueError):
+    """Raised for malformed path syntax or invalid path operations."""
+
+
+def _check_label(label: Label) -> Label:
+    if not isinstance(label, str):
+        raise PathError(f"label must be a string, got {type(label).__name__}")
+    if not label:
+        raise PathError("empty label is not allowed in a path")
+    if "/" in label:
+        raise PathError(f"label may not contain '/': {label!r}")
+    return label
+
+
+class Path:
+    """An immutable sequence of edge labels addressing a tree node.
+
+    The empty path addresses the root of the tree it is resolved against.
+
+    >>> p = Path.parse("T/c2/y")
+    >>> p.labels
+    ('T', 'c2', 'y')
+    >>> str(p.parent)
+    'T/c2'
+    >>> Path.parse("T/c2") <= p
+    True
+    """
+
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, labels: Iterable[Label] = ()) -> None:
+        labels = tuple(_check_label(label) for label in labels)
+        object.__setattr__(self, "_labels", labels)
+        object.__setattr__(self, "_hash", hash(labels))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Path is immutable")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Path":
+        """Parse the ``a/b/c`` concrete syntax.  ``""`` parses to the root."""
+        if not isinstance(text, str):
+            raise PathError(f"cannot parse {type(text).__name__} as a path")
+        if text in ("", "/"):
+            return ROOT
+        stripped = text.strip("/")
+        if not stripped:
+            return ROOT
+        return cls(stripped.split("/"))
+
+    @classmethod
+    def of(cls, value: "Path | str | Iterable[Label]") -> "Path":
+        """Coerce a value into a :class:`Path` (identity on paths)."""
+        if isinstance(value, Path):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        return cls(value)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> Tuple[Label, ...]:
+        return self._labels
+
+    @property
+    def is_root(self) -> bool:
+        return not self._labels
+
+    @property
+    def parent(self) -> "Path":
+        """The path with the last label removed.
+
+        >>> str(Path.parse("a/b").parent)
+        'a'
+        """
+        if self.is_root:
+            raise PathError("the root path has no parent")
+        return Path(self._labels[:-1])
+
+    @property
+    def last(self) -> Label:
+        """The final edge label of the path."""
+        if self.is_root:
+            raise PathError("the root path has no last label")
+        return self._labels[-1]
+
+    @property
+    def head(self) -> Label:
+        """The first edge label of the path."""
+        if self.is_root:
+            raise PathError("the root path has no head label")
+        return self._labels[0]
+
+    @property
+    def tail(self) -> "Path":
+        """The path with the first label removed."""
+        if self.is_root:
+            raise PathError("the root path has no tail")
+        return Path(self._labels[1:])
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def child(self, label: Label) -> "Path":
+        """Extend the path by one label (written ``p/a`` in the paper)."""
+        return Path(self._labels + (_check_label(label),))
+
+    def join(self, other: "Path | str") -> "Path":
+        """Concatenate two paths."""
+        other = Path.of(other)
+        return Path(self._labels + other._labels)
+
+    def __truediv__(self, other: "Path | str | Label") -> "Path":
+        if isinstance(other, Path):
+            return self.join(other)
+        if isinstance(other, str) and "/" in other:
+            return self.join(Path.parse(other))
+        return self.child(other)
+
+    def is_prefix_of(self, other: "Path | str") -> bool:
+        """``p <= q`` in the paper: every node under ``p`` extends ``p``."""
+        other = Path.of(other)
+        n = len(self._labels)
+        return other._labels[:n] == self._labels
+
+    def is_strict_prefix_of(self, other: "Path | str") -> bool:
+        other = Path.of(other)
+        return self != other and self.is_prefix_of(other)
+
+    def __le__(self, other: "Path | str") -> bool:
+        return self.is_prefix_of(other)
+
+    def __lt__(self, other: "Path | str") -> bool:
+        return self.is_strict_prefix_of(other)
+
+    def relative_to(self, prefix: "Path | str") -> "Path":
+        """The suffix of this path after ``prefix``.
+
+        >>> str(Path.parse("a/b/c").relative_to("a"))
+        'b/c'
+        """
+        prefix = Path.of(prefix)
+        if not prefix.is_prefix_of(self):
+            raise PathError(f"{prefix} is not a prefix of {self}")
+        return Path(self._labels[len(prefix._labels):])
+
+    def rebase(self, old_prefix: "Path | str", new_prefix: "Path | str") -> "Path":
+        """Replace ``old_prefix`` with ``new_prefix``.
+
+        Used for hierarchical provenance inference: a node at ``p/a`` whose
+        ancestor ``p`` was copied from ``q`` came from ``q/a``.
+        """
+        return Path.of(new_prefix).join(self.relative_to(old_prefix))
+
+    def ancestors(self, include_self: bool = False) -> Iterator["Path"]:
+        """Yield ancestors from the *longest* (closest) to the root.
+
+        Hierarchical provenance inference wants the closest ancestor with an
+        explicit record, hence the longest-first order.
+        """
+        start = len(self._labels) if include_self else len(self._labels) - 1
+        for n in range(start, -1, -1):
+            yield Path(self._labels[:n])
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._labels)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Path(self._labels[index])
+        return self._labels[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Path):
+            return self._labels == other._labels
+        if isinstance(other, str):
+            return self._labels == Path.parse(other)._labels
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return "/".join(self._labels)
+
+    def __repr__(self) -> str:
+        return f"Path({str(self)!r})"
+
+    def sort_key(self) -> Tuple[Label, ...]:
+        """A total order usable for deterministic output (root first)."""
+        return self._labels
+
+
+#: The empty path, addressing the root.
+ROOT = Path()

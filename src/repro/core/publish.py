@@ -1,0 +1,120 @@
+"""Publishing and exchanging provenance (Section 2.2).
+
+"If some source databases do not track provenance and publish it in a
+consistent form, many queries only have incomplete answers.  Of course,
+if source databases also store provenance, we can provide more complete
+answers by combining the provenance information of all of the
+databases."
+
+This module defines that consistent form: a versioned, self-describing
+JSON document carrying a database's provenance records (and, optionally,
+its hierarchical flag so consumers can interpret them correctly).
+``import_published`` loads any number of documents into a
+:class:`~repro.core.network.ProvenanceNetwork`, backing each with a
+fresh read-only store — making the cross-database ``Own`` and combined
+``Hist`` queries work over exchanged provenance rather than live stores.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .network import ProvenanceNetwork
+from .paths import Path
+from .provenance import ProvRecord, ProvTable, ProvenanceStore
+
+__all__ = ["export_provenance", "import_provenance", "import_published"]
+
+FORMAT = "cpdb-provenance"
+VERSION = 1
+
+
+def export_provenance(name: str, store: ProvenanceStore) -> str:
+    """Serialize a database's provenance to the exchange format."""
+    records = [
+        {
+            "tid": record.tid,
+            "op": record.op,
+            "loc": str(record.loc),
+            "src": str(record.src) if record.src is not None else None,
+        }
+        for record in store.records()
+    ]
+    return json.dumps(
+        {
+            "format": FORMAT,
+            "version": VERSION,
+            "database": name,
+            "method": store.method,
+            "hierarchical": store.hierarchical,
+            "last_tid": store.last_tid,
+            "records": records,
+        },
+        indent=2,
+    )
+
+
+class PublishedStore(ProvenanceStore):
+    """A read-only store backing imported provenance.
+
+    Consumers can run every query against it; tracking methods refuse to
+    write (published provenance is somebody else's record of what
+    happened — "the provenance information records what happened as it
+    happened", Section 5)."""
+
+    method = "published"
+    transactional = False
+
+    def __init__(self, table: ProvTable, hierarchical: bool, last_tid: int) -> None:
+        super().__init__(table, first_tid=last_tid + 1)
+        self.hierarchical = hierarchical
+
+    def _refuse(self) -> None:
+        raise PermissionError("published provenance is read-only")
+
+    def track_insert(self, loc) -> None:  # noqa: D102 - refusal
+        self._refuse()
+
+    def track_delete(self, loc, deleted) -> None:  # noqa: D102 - refusal
+        self._refuse()
+
+    def track_copy(self, dst, src, copied, overwritten) -> None:  # noqa: D102
+        self._refuse()
+
+
+def import_provenance(document: str) -> tuple:
+    """Parse an exchange document; returns ``(database_name, store)``."""
+    data = json.loads(document)
+    if data.get("format") != FORMAT:
+        raise ValueError(f"not a {FORMAT} document")
+    if data.get("version") != VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    table = ProvTable(table_name="prov")
+    records = [
+        ProvRecord(
+            entry["tid"],
+            entry["op"],
+            Path.parse(entry["loc"]),
+            Path.parse(entry["src"]) if entry["src"] else None,
+        )
+        for entry in data["records"]
+    ]
+    if records:
+        table.write_batch(records, "import")
+    store = PublishedStore(
+        table,
+        hierarchical=bool(data.get("hierarchical")),
+        last_tid=int(data.get("last_tid", max((r.tid for r in records), default=0))),
+    )
+    return data["database"], store
+
+
+def import_published(documents: Iterable[str]) -> ProvenanceNetwork:
+    """Build a provenance network from published documents, enabling the
+    cross-database Own / combined-Hist queries of Section 2.2."""
+    network = ProvenanceNetwork()
+    for document in documents:
+        name, store = import_provenance(document)
+        network.register(name, store)
+    return network

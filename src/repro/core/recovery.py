@@ -1,0 +1,140 @@
+"""Data availability: reconstructing a lost source (Section 5).
+
+"Suppose two databases T1 and T2 are constructed using data from S, that
+the construction process is recorded by provenance stores P1, P2, and
+that later S disappears.  We can still be fairly certain about the
+contents of S, since we can use the provenance records of T1 and T2 to
+partially reconstruct S.  Even if T1 and T2 disagree ... this
+information may be better than nothing."
+
+:func:`reconstruct_source` does exactly this: for every copy link whose
+source lies in the lost database, it checks that the copied leaf is
+still *pristine* in the target (no later transaction touched it) and, if
+so, claims the target's current value for the source location.
+Disagreements between contributors are returned as conflicts instead of
+silently resolved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .paths import Path
+from .provenance import OP_COPY, ProvRecord, ProvenanceStore
+from .queries import ProvenanceQueries
+from .tree import Tree, Value
+
+__all__ = ["Contributor", "Conflict", "RecoveryResult", "reconstruct_source"]
+
+
+@dataclass
+class Contributor:
+    """One surviving database: its provenance store, its current tree
+    (rooted at the database, i.e. paths *relative* to the target name),
+    and its name."""
+
+    name: str
+    store: ProvenanceStore
+    tree: Tree
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """Two contributors claim different values for a source leaf."""
+
+    src_path: Path
+    claims: Tuple[Tuple[str, Value], ...]  # (contributor name, value)
+
+
+@dataclass
+class RecoveryResult:
+    tree: Tree
+    recovered_leaves: int
+    conflicts: List[Conflict]
+    evidence: Dict[Path, List[str]]  # src leaf -> contributor names
+
+
+def _pristine_since(
+    queries: ProvenanceQueries, leaf: Path, copy_tid: int
+) -> bool:
+    """True if no transaction after ``copy_tid`` touched ``leaf`` (or an
+    ancestor or descendant of it): the target still holds the copied
+    value."""
+    table = queries.table
+    for record in table.records_under(leaf):
+        if record.tid > copy_tid:
+            return False
+    for ancestor in leaf.ancestors():
+        if len(ancestor) < 1:
+            break
+        for record in table.records_at_loc(ancestor):
+            if record.tid > copy_tid:
+                return False
+    return True
+
+
+def reconstruct_source(
+    source_name: str,
+    contributors: Sequence[Contributor],
+) -> RecoveryResult:
+    """Partially rebuild the lost database ``source_name`` from the
+    provenance and current contents of ``contributors``."""
+    claims: Dict[Path, Dict[str, Value]] = {}
+    for contributor in contributors:
+        queries = ProvenanceQueries(contributor.store, target_name=contributor.name)
+        for record in contributor.store.records():
+            if record.op != OP_COPY or record.src is None:
+                continue
+            if record.src.is_root or record.src.head != source_name:
+                continue
+            _claim_from_copy(contributor, queries, record, claims)
+
+    tree = Tree.empty()
+    conflicts: List[Conflict] = []
+    evidence: Dict[Path, List[str]] = {}
+    recovered = 0
+    for src_path in sorted(claims, key=Path.sort_key):
+        values = claims[src_path]
+        distinct = set(values.values())
+        if len(distinct) > 1:
+            conflicts.append(
+                Conflict(src_path, tuple(sorted(values.items())))
+            )
+            continue
+        value = next(iter(distinct))
+        _install_leaf(tree, src_path.tail, value)
+        evidence[src_path] = sorted(values)
+        recovered += 1
+    return RecoveryResult(tree, recovered, conflicts, evidence)
+
+
+def _claim_from_copy(
+    contributor: Contributor,
+    queries: ProvenanceQueries,
+    record: ProvRecord,
+    claims: Dict[Path, Dict[str, Value]],
+) -> None:
+    """Claim source leaf values reachable through one copy record."""
+    loc_rel = record.loc.tail  # paths in the tree are target-relative
+    if not contributor.tree.contains_path(loc_rel):
+        return  # the copied region is gone from the target
+    subtree = contributor.tree.resolve(loc_rel)
+    for sub, value in subtree.leaf_values():
+        leaf_abs = record.loc.join(sub)
+        if not _pristine_since(queries, leaf_abs, record.tid):
+            continue
+        assert record.src is not None
+        src_leaf = record.src.join(sub)
+        claims.setdefault(src_leaf, {})[contributor.name] = value
+
+
+def _install_leaf(tree: Tree, rel: Path, value: Value) -> None:
+    node = tree
+    for label in rel.parent:
+        if not node.has_child(label):
+            node.add_child(label, Tree.empty())
+        node = node.child(label)
+    if node.has_child(rel.last):
+        return
+    node.add_child(rel.last, Tree.leaf(value))

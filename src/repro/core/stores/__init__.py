@@ -1,0 +1,40 @@
+"""The four provenance storage strategies of Section 2.1."""
+
+from .naive import NaiveStore
+from .hierarchical import HierarchicalStore
+from .transactional import TransactionalStore
+from .hier_trans import HierarchicalTransactionalStore
+
+__all__ = [
+    "NaiveStore",
+    "HierarchicalStore",
+    "TransactionalStore",
+    "HierarchicalTransactionalStore",
+    "make_store",
+    "STORE_METHODS",
+]
+
+STORE_METHODS = {
+    "naive": NaiveStore,
+    "hierarchical": HierarchicalStore,
+    "transactional": TransactionalStore,
+    "hier_trans": HierarchicalTransactionalStore,
+    # the paper's single-letter method names
+    "N": NaiveStore,
+    "H": HierarchicalStore,
+    "T": TransactionalStore,
+    "HT": HierarchicalTransactionalStore,
+}
+
+
+def make_store(method, table, first_tid=1, **kwargs):
+    """Instantiate a store by method name (``N``/``H``/``T``/``HT`` or the
+    long names)."""
+    try:
+        cls = STORE_METHODS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown provenance method {method!r}; choose from "
+            f"{sorted(set(STORE_METHODS))}"
+        ) from None
+    return cls(table, first_tid=first_tid, **kwargs)

@@ -1,0 +1,108 @@
+"""Transaction metadata (Section 2.1).
+
+"Additional information about each transaction, such as commit time and
+user identity, can be stored in a separate table with key Tid."  And
+Section 2.2: Mod's answer "could then be combined with additional
+information about transactions to identify all users that modified the
+subtree at p."
+
+:class:`TransactionLog` is that table — ``txn(tid, user, committed_ms,
+note)`` in the embedded engine, sharing the provenance store's database —
+and :func:`who_modified` is the promised combination of Mod with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..storage.db import Database
+from ..storage.schema import Column, TableSchema
+from ..storage.types import ColumnType
+from .paths import Path
+from .provenance import ProvTable
+from .queries import ProvenanceQueries
+
+__all__ = ["TransactionInfo", "TransactionLog", "who_modified"]
+
+
+@dataclass(frozen=True)
+class TransactionInfo:
+    tid: int
+    user: str
+    committed_ms: float
+    note: Optional[str] = None
+
+
+def txn_schema(table_name: str = "txn") -> TableSchema:
+    return TableSchema(
+        table_name,
+        [
+            Column("tid", ColumnType.INT, nullable=False),
+            Column("user", ColumnType.TEXT, nullable=False),
+            Column("committed_ms", ColumnType.REAL, nullable=False),
+            Column("note", ColumnType.TEXT),
+        ],
+        primary_key=("tid",),
+    )
+
+
+class TransactionLog:
+    """Per-transaction metadata keyed by Tid.
+
+    Lives in the same database as the provenance relation (pass the
+    :class:`ProvTable`'s db) so that, as in CPDB, one store holds the
+    full provenance record.  Commit times default to the virtual clock's
+    current reading, keeping experiments deterministic.
+    """
+
+    def __init__(self, table: ProvTable, table_name: str = "txn") -> None:
+        self._prov_table = table
+        self.db: Database = table.db
+        self.table_name = table_name
+        if not self.db.has_table(table_name):
+            self.db.create_table(txn_schema(table_name))
+
+    def record_commit(
+        self, tid: int, user: str, note: Optional[str] = None
+    ) -> TransactionInfo:
+        info = TransactionInfo(
+            tid=tid,
+            user=user,
+            committed_ms=self._prov_table.clock.now_ms,
+            note=note,
+        )
+        self.db.insert(
+            self.table_name, (info.tid, info.user, info.committed_ms, info.note)
+        )
+        return info
+
+    def info(self, tid: int) -> Optional[TransactionInfo]:
+        found = self.db.table(self.table_name).lookup_pk((tid,))
+        if found is None:
+            return None
+        return TransactionInfo(*found[1])
+
+    def all_transactions(self) -> List[TransactionInfo]:
+        return sorted(
+            (TransactionInfo(*row) for _rid, row in self.db.table(self.table_name).scan()),
+            key=lambda info: info.tid,
+        )
+
+    def by_user(self, user: str) -> List[TransactionInfo]:
+        return [info for info in self.all_transactions() if info.user == user]
+
+
+def who_modified(
+    queries: ProvenanceQueries,
+    log: TransactionLog,
+    loc: "Path | str",
+) -> Dict[str, Set[int]]:
+    """Which users modified the subtree under ``loc``, and in which
+    transactions — Mod(p) joined with the transaction table."""
+    result: Dict[str, Set[int]] = {}
+    for tid in queries.get_mod(Path.of(loc)):
+        info = log.info(tid)
+        user = info.user if info is not None else "<unknown>"
+        result.setdefault(user, set()).add(tid)
+    return result

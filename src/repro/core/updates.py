@@ -1,0 +1,300 @@
+"""The paper's atomic update language and its formal semantics (Section 2).
+
+::
+
+    u ::= ins {a : v} into p  |  del a from p  |  copy q into p
+
+with semantics over trees::
+
+    [[ins {a : v} into p]](t) = t[p := (t.p ] {a : v})]
+    [[del a from p]](t)       = t[p := (t.p - a)]
+    [[copy q into p]](t)      = t[p := t.q]
+    [[U ; U']](t)             = [[U']]([[U]](t))
+
+In the paper's examples paths are *absolute*: the first label names a
+database (``T``, ``S1``, ...).  We model the collection of databases as a
+:class:`Workspace` — a set of named roots.  Insertions, copies, and deletes
+may only modify the target database; a copy's *source* may be any root
+(that is how data moves from ``S1``/``S2`` into ``T``).
+
+The module also provides a concrete syntax parser so update scripts can be
+written exactly as in Figure 3 of the paper::
+
+    copy S1/a1/y into T/c1/y
+    insert {c2 : {}} into T
+    del c5 from T
+
+(``ins`` and ``insert``, ``del`` and ``delete`` are accepted as synonyms.)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .paths import Label, Path, PathError
+from .tree import Tree, TreeError, Value
+
+__all__ = [
+    "Insert",
+    "Delete",
+    "Copy",
+    "Update",
+    "UpdateError",
+    "Workspace",
+    "apply_update",
+    "apply_sequence",
+    "parse_update",
+    "parse_script",
+    "format_update",
+]
+
+
+class UpdateError(Exception):
+    """Raised when an update fails (bad target root, partial-op failure)."""
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``ins {label : value} into path``.
+
+    ``value`` is either a data value or ``None`` for the empty tree ``{}``
+    (the paper restricts inserted values to these two forms).
+    """
+
+    label: Label
+    value: Value
+    path: Path
+
+    def __str__(self) -> str:
+        return format_update(self)
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``del label from path``."""
+
+    label: Label
+    path: Path
+
+    def __str__(self) -> str:
+        return format_update(self)
+
+
+@dataclass(frozen=True)
+class Copy:
+    """``copy src into dst`` — replaces the subtree at ``dst`` with a deep
+    copy of the subtree at ``src``."""
+
+    src: Path
+    dst: Path
+
+    def __str__(self) -> str:
+        return format_update(self)
+
+
+Update = Union[Insert, Delete, Copy]
+
+
+class Workspace:
+    """A collection of named database roots viewed as trees.
+
+    ``Workspace({"T": t, "S1": s1})`` resolves absolute paths like
+    ``T/c1/y`` by selecting the root named by the head label.  Only the
+    designated *target* root may be modified.
+    """
+
+    def __init__(self, roots: Dict[str, Tree], target: str = "T") -> None:
+        if target not in roots:
+            raise UpdateError(f"target root {target!r} not among roots {sorted(roots)}")
+        self.roots: Dict[str, Tree] = dict(roots)
+        self.target = target
+
+    # ------------------------------------------------------------------
+    def resolve(self, path: "Path | str") -> Tree:
+        """Resolve an absolute path to a subtree."""
+        path = Path.of(path)
+        if path.is_root:
+            raise UpdateError("absolute paths must start with a database name")
+        root_name = path.head
+        if root_name not in self.roots:
+            raise UpdateError(f"unknown database {root_name!r} in path {path}")
+        try:
+            return self.roots[root_name].resolve(path.tail)
+        except TreeError as exc:
+            raise UpdateError(f"cannot resolve {path}: {exc}") from exc
+
+    def contains_path(self, path: "Path | str") -> bool:
+        path = Path.of(path)
+        if path.is_root or path.head not in self.roots:
+            return False
+        return self.roots[path.head].contains_path(path.tail)
+
+    def target_tree(self) -> Tree:
+        return self.roots[self.target]
+
+    def _require_target(self, path: Path, what: str) -> Path:
+        if path.is_root or path.head != self.target:
+            raise UpdateError(
+                f"{what} may only be performed in the target database "
+                f"{self.target!r}, got path {path}"
+            )
+        return path.tail
+
+    def snapshot(self) -> "Workspace":
+        """A deep copy of the workspace (used by transactional provenance
+        to remember the reference version at transaction start)."""
+        return Workspace(
+            {name: tree.deep_copy() for name, tree in self.roots.items()},
+            target=self.target,
+        )
+
+
+def apply_update(ws: Workspace, update: Update) -> None:
+    """Apply one atomic update to the workspace, in place.
+
+    Failure conditions follow the paper's partial semantics and raise
+    :class:`UpdateError` without modifying the workspace.
+    """
+    if isinstance(update, Insert):
+        rel = ws._require_target(update.path, "insertions")
+        try:
+            node = ws.target_tree().resolve(rel)
+            child = Tree.empty() if update.value is None else Tree.leaf(update.value)
+            node.add_child(update.label, child)
+        except TreeError as exc:
+            raise UpdateError(f"{format_update(update)} failed: {exc}") from exc
+    elif isinstance(update, Delete):
+        rel = ws._require_target(update.path, "deletions")
+        try:
+            node = ws.target_tree().resolve(rel)
+            node.remove_child(update.label)
+        except TreeError as exc:
+            raise UpdateError(f"{format_update(update)} failed: {exc}") from exc
+    elif isinstance(update, Copy):
+        dst_rel = ws._require_target(update.dst, "copies")
+        source = ws.resolve(update.src)  # may be any root, incl. the target
+        copied = source.deep_copy()
+        target = ws.target_tree()
+        if dst_rel.is_root:
+            raise UpdateError("cannot copy over the target root itself")
+        # The paper's formal t[p := t.q] is partial (fails if p is absent),
+        # but its own example (Figure 3, step 7: "copy S1/a3 into T/c3")
+        # copies into a path that does not exist yet.  We therefore treat
+        # copy as replace-or-create: the destination's *parent* must exist;
+        # the final edge is created if missing and replaced otherwise.
+        parent = _resolve_target_parent(ws, dst_rel)
+        if parent.is_leaf_value:
+            raise UpdateError(f"{format_update(update)} failed: parent is a leaf value")
+        parent.children[dst_rel.last] = copied
+    else:  # pragma: no cover - defensive
+        raise UpdateError(f"unknown update kind: {update!r}")
+
+
+def _resolve_target_parent(ws: Workspace, rel: Path) -> Tree:
+    try:
+        return ws.target_tree().resolve(rel.parent)
+    except TreeError as exc:
+        raise UpdateError(f"path not present: {rel}") from exc
+
+
+def apply_sequence(ws: Workspace, updates: Iterable[Update]) -> None:
+    """``[[U ; U']] = [[U']] o [[U]]`` — left-to-right composition."""
+    for update in updates:
+        apply_update(ws, update)
+
+
+# ----------------------------------------------------------------------
+# Concrete syntax
+# ----------------------------------------------------------------------
+
+_INSERT_RE = re.compile(
+    r"^(?:ins|insert)\s*\{\s*(?P<label>[^:{}\s]+)\s*:\s*(?P<value>\{\s*\}|[^{}]+?)\s*\}"
+    r"\s+into\s+(?P<path>\S+)$"
+)
+_DELETE_RE = re.compile(r"^(?:del|delete)\s+(?P<label>\S+)\s+from\s+(?P<path>\S+)$")
+_COPY_RE = re.compile(r"^copy\s+(?P<src>\S+)\s+into\s+(?P<dst>\S+)$")
+
+
+def _parse_value(text: str) -> Value:
+    text = text.strip()
+    if re.fullmatch(r"\{\s*\}", text):
+        return None  # the empty tree
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1]
+    if re.fullmatch(r"-?\d+", text):
+        return int(text)
+    if re.fullmatch(r"-?\d+\.\d*", text):
+        return float(text)
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    return text  # bare word string
+
+
+def parse_update(line: str) -> Update:
+    """Parse one atomic update in the paper's concrete syntax.
+
+    >>> parse_update("copy S1/a1/y into T/c1/y")
+    Copy(src=Path('S1/a1/y'), dst=Path('T/c1/y'))
+    >>> parse_update("insert {y : 12} into T/c4")
+    Insert(label='y', value=12, path=Path('T/c4'))
+    """
+    text = line.strip().rstrip(";")
+    match = _INSERT_RE.match(text)
+    if match:
+        return Insert(
+            label=match.group("label"),
+            value=_parse_value(match.group("value")),
+            path=Path.parse(match.group("path")),
+        )
+    match = _DELETE_RE.match(text)
+    if match:
+        return Delete(label=match.group("label"), path=Path.parse(match.group("path")))
+    match = _COPY_RE.match(text)
+    if match:
+        return Copy(src=Path.parse(match.group("src")), dst=Path.parse(match.group("dst")))
+    raise UpdateError(f"cannot parse update: {line!r}")
+
+
+def parse_script(text: str) -> List[Update]:
+    """Parse a multi-line update script.
+
+    Blank lines and ``--``/``#`` comments are skipped; a leading
+    ``(n)`` step number (as printed in Figure 3) is allowed and ignored.
+    """
+    updates: List[Update] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("--"):
+            continue
+        for statement in line.split(";"):
+            statement = re.sub(r"^\(\d+\)\s*", "", statement.strip())
+            if statement:
+                updates.append(parse_update(statement))
+    return updates
+
+
+def format_update(update: Update) -> str:
+    """Render an update back to the paper's concrete syntax."""
+    if isinstance(update, Insert):
+        if update.value is None:
+            value = "{}"
+        elif isinstance(update.value, str):
+            value = f'"{update.value}"'
+        elif update.value is True:
+            value = "true"
+        elif update.value is False:
+            value = "false"
+        else:
+            value = str(update.value)
+        return f"ins {{{update.label} : {value}}} into {update.path}"
+    if isinstance(update, Delete):
+        return f"del {update.label} from {update.path}"
+    if isinstance(update, Copy):
+        return f"copy {update.src} into {update.dst}"
+    raise UpdateError(f"unknown update kind: {update!r}")

@@ -1,0 +1,29 @@
+"""A Datalog engine with stratified negation and semi-naive evaluation.
+
+The paper specifies both the hierarchical-provenance view (Section 2.1.3)
+and the provenance queries (Section 2.2) as Datalog programs.  CPDB could
+not run them directly ("due to lack of support for the kind of recursion
+needed by the Trace query", Section 3.3) and fell back to procedural
+programs; we implement both and use this engine to check that the
+procedural implementations compute the declarative specification.
+"""
+
+from .ast import Atom, Const, Literal, Rule, Term, Var
+from .builtins import BUILTINS, Builtin
+from .engine import DatalogError, Program
+from .parser import parse_program, parse_rule
+
+__all__ = [
+    "Atom",
+    "Const",
+    "Literal",
+    "Rule",
+    "Term",
+    "Var",
+    "Builtin",
+    "BUILTINS",
+    "Program",
+    "DatalogError",
+    "parse_program",
+    "parse_rule",
+]

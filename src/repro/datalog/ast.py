@@ -1,0 +1,86 @@
+"""Datalog abstract syntax: terms, atoms, literals, rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Tuple, Union
+
+__all__ = ["Var", "Const", "Term", "Atom", "Literal", "Rule", "Substitution"]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable (conventionally capitalized in the text syntax)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant (string, int, float, bool, None)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+Substitution = Dict[Var, Any]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``pred(t1, ..., tn)``."""
+
+    pred: str
+    terms: Tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def vars(self) -> FrozenSet[Var]:
+        return frozenset(term for term in self.terms if isinstance(term, Var))
+
+    def ground(self, subst: Substitution) -> Tuple[Any, ...]:
+        """Instantiate to a fact tuple; raises KeyError on unbound vars."""
+        out = []
+        for term in self.terms:
+            if isinstance(term, Const):
+                out.append(term.value)
+            else:
+                out.append(subst[term])
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(term) for term in self.terms)
+        return f"{self.pred}({inner})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A possibly negated body atom.  Builtin literals are recognized by
+    predicate name at evaluation time."""
+
+    atom: Atom
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        return f"not {self.atom!r}" if self.negated else repr(self.atom)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.``  A rule with an empty body asserts a fact."""
+
+    head: Atom
+    body: Tuple[Literal, ...] = ()
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- " + ", ".join(repr(lit) for lit in self.body) + "."

@@ -1,0 +1,120 @@
+"""Builtin predicates for path manipulation and arithmetic.
+
+The paper's rules build and decompose paths (``p/a``), compare path
+prefixes (``p <= q``), and step transaction counters (``t - 1``).  Each
+builtin declares which argument patterns it supports; during rule
+evaluation a builtin either *checks* a fully bound tuple or *binds* its
+free output variables from bound inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Builtin", "BUILTINS"]
+
+#: bound-values-in, candidate extensions out; None marks a free position
+Solver = Callable[[Sequence[Optional[Any]]], Iterator[Tuple[Any, ...]]]
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """A builtin predicate: ``solve(args)`` receives the argument list
+    with bound values filled in and ``None`` at free positions, and
+    yields full argument tuples consistent with the bindings."""
+
+    name: str
+    arity: int
+    solve: Solver
+
+
+def _split_path(path: str) -> Tuple[str, str]:
+    if "/" not in path:
+        return "", path
+    head, _slash, last = path.rpartition("/")
+    return head, last
+
+
+def _path_join(args: Sequence[Optional[Any]]) -> Iterator[Tuple[Any, ...]]:
+    """``path_join(P, A, PA)``: PA = P + "/" + A.  Modes: (b, b, ?) and
+    (?, ?, b)."""
+    p, a, pa = args
+    if p is not None and a is not None:
+        joined = f"{p}/{a}" if p else a
+        if pa is None or pa == joined:
+            yield (p, a, joined)
+        return
+    if pa is not None:
+        head, last = _split_path(pa)
+        if last == pa and head == "":
+            # a one-label path: parent is the root ""
+            candidates = [("", pa)]
+        else:
+            candidates = [(head, last)]
+        for head, last in candidates:
+            if (p is None or p == head) and (a is None or a == last):
+                yield (head, last, pa)
+        return
+    raise ValueError("path_join needs either (P, A) or PA bound")
+
+
+def _prefix(args: Sequence[Optional[Any]]) -> Iterator[Tuple[Any, ...]]:
+    """``prefix(P, Q)``: P is a prefix of Q (both bound)."""
+    p, q = args
+    if p is None or q is None:
+        raise ValueError("prefix/2 requires both arguments bound")
+    if p == q or (q.startswith(p + "/") if p else True):
+        yield (p, q)
+
+
+def _head_label(args: Sequence[Optional[Any]]) -> Iterator[Tuple[Any, ...]]:
+    """``head_label(P, H)``: H is the first label of path P (P bound)."""
+    p, h = args
+    if p is None:
+        raise ValueError("head_label/2 requires the path bound")
+    head = p.split("/", 1)[0] if p else ""
+    if h is None or h == head:
+        yield (p, head)
+
+
+def _sub1(args: Sequence[Optional[Any]]) -> Iterator[Tuple[Any, ...]]:
+    """``sub1(T, U)``: U = T - 1.  Modes: (b, ?) and (?, b)."""
+    t, u = args
+    if t is not None:
+        if u is None or u == t - 1:
+            yield (t, t - 1)
+        return
+    if u is not None:
+        yield (u + 1, u)
+        return
+    raise ValueError("sub1 needs one argument bound")
+
+
+def _neq(args: Sequence[Optional[Any]]) -> Iterator[Tuple[Any, ...]]:
+    a, b = args
+    if a is None or b is None:
+        raise ValueError("neq/2 requires both arguments bound")
+    if a != b:
+        yield (a, b)
+
+
+def _leq(args: Sequence[Optional[Any]]) -> Iterator[Tuple[Any, ...]]:
+    a, b = args
+    if a is None or b is None:
+        raise ValueError("leq/2 requires both arguments bound")
+    if a <= b:
+        yield (a, b)
+
+
+BUILTINS: Dict[str, Builtin] = {
+    builtin.name: builtin
+    for builtin in (
+        Builtin("path_join", 3, _path_join),
+        Builtin("prefix", 2, _prefix),
+        Builtin("head_label", 2, _head_label),
+        Builtin("sub1", 2, _sub1),
+        Builtin("neq", 2, _neq),
+        Builtin("leq", 2, _leq),
+    )
+}

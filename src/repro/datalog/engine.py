@@ -1,0 +1,274 @@
+"""Bottom-up Datalog evaluation: stratified negation, semi-naive fixpoint.
+
+The program's predicates are split into strata such that every negated
+dependency points to a strictly lower stratum (a :class:`DatalogError`
+reports programs that are not stratifiable, e.g. negation through
+recursion).  Within each stratum, rules run semi-naively: each iteration
+joins at least one *delta* (newly derived) literal, so work is
+proportional to new facts rather than to the whole database.
+
+Body literals are evaluated left to right; a negated or builtin literal
+must have its input variables bound by that point (rule authors order
+bodies accordingly, as the paper's rules already do).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .ast import Atom, Const, Literal, Rule, Substitution, Var
+from .builtins import BUILTINS, Builtin
+
+__all__ = ["Program", "DatalogError"]
+
+Fact = Tuple[Any, ...]
+
+
+class DatalogError(Exception):
+    """Unstratifiable program, unsafe rule, or unbound builtin/negation."""
+
+
+class Program:
+    """A set of rules plus extensional facts, evaluated on demand.
+
+    >>> program = Program()
+    >>> program.add_fact("edge", (1, 2))
+    >>> program.add_fact("edge", (2, 3))
+    >>> x, y, z = Var("X"), Var("Y"), Var("Z")
+    >>> program.add_rule(Rule(Atom("path", (x, y)), (Literal(Atom("edge", (x, y))),)))
+    >>> program.add_rule(Rule(Atom("path", (x, z)),
+    ...     (Literal(Atom("path", (x, y))), Literal(Atom("edge", (y, z))))))
+    >>> sorted(program.query("path"))
+    [(1, 2), (1, 3), (2, 3)]
+    """
+
+    def __init__(self, builtins: Optional[Dict[str, Builtin]] = None) -> None:
+        self.rules: List[Rule] = []
+        self.facts: Dict[str, Set[Fact]] = {}
+        self.builtins = dict(BUILTINS if builtins is None else builtins)
+        self._computed: Optional[Dict[str, Set[Fact]]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_fact(self, pred: str, fact: Sequence[Any]) -> None:
+        if pred in self.builtins:
+            raise DatalogError(f"{pred!r} is a builtin; cannot add facts")
+        self.facts.setdefault(pred, set()).add(tuple(fact))
+        self._computed = None
+
+    def add_facts(self, pred: str, facts: Iterable[Sequence[Any]]) -> None:
+        for fact in facts:
+            self.add_fact(pred, fact)
+
+    def add_rule(self, rule: Rule) -> None:
+        if rule.head.pred in self.builtins:
+            raise DatalogError(f"cannot define builtin {rule.head.pred!r}")
+        self._check_safety(rule)
+        self.rules.append(rule)
+        self._computed = None
+
+    def _check_safety(self, rule: Rule) -> None:
+        positive: Set[Var] = set()
+        for literal in rule.body:
+            if not literal.negated and literal.atom.pred not in self.builtins:
+                positive |= literal.atom.vars()
+            if literal.atom.pred in self.builtins:
+                positive |= literal.atom.vars()  # builtins may bind outputs
+        unsafe = rule.head.vars() - positive
+        if unsafe:
+            raise DatalogError(
+                f"unsafe rule (head vars {sorted(v.name for v in unsafe)} "
+                f"not bound in body): {rule!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Stratification
+    # ------------------------------------------------------------------
+    def _stratify(self) -> List[List[str]]:
+        preds: Set[str] = set(self.facts)
+        for rule in self.rules:
+            preds.add(rule.head.pred)
+            for literal in rule.body:
+                if literal.atom.pred not in self.builtins:
+                    preds.add(literal.atom.pred)
+        stratum: Dict[str, int] = {pred: 0 for pred in preds}
+        # Bellman-Ford style relaxation; > |preds| rounds means a negative
+        # cycle, i.e. an unstratifiable program.
+        for _round in range(len(preds) + 1):
+            changed = False
+            for rule in self.rules:
+                head = rule.head.pred
+                for literal in rule.body:
+                    pred = literal.atom.pred
+                    if pred in self.builtins:
+                        continue
+                    needed = stratum[pred] + (1 if literal.negated else 0)
+                    if stratum[head] < needed:
+                        stratum[head] = needed
+                        changed = True
+            if not changed:
+                break
+        else:
+            raise DatalogError("program is not stratifiable (negation in a cycle)")
+        by_level: Dict[int, List[str]] = {}
+        for pred, level in stratum.items():
+            by_level.setdefault(level, []).append(pred)
+        return [sorted(by_level[level]) for level in sorted(by_level)]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _solve_literal(
+        self,
+        literal: Literal,
+        subst: Substitution,
+        database: Dict[str, Set[Fact]],
+        restrict: Optional[Set[Fact]] = None,
+    ) -> Iterator[Substitution]:
+        atom = literal.atom
+        if atom.pred in self.builtins:
+            yield from self._solve_builtin(atom, subst)
+            return
+        facts = restrict if restrict is not None else database.get(atom.pred, set())
+        if literal.negated:
+            bound = self._require_ground(atom, subst, "negated literal")
+            if bound not in database.get(atom.pred, set()):
+                yield subst
+            return
+        for fact in facts:
+            extended = self._unify(atom, fact, subst)
+            if extended is not None:
+                yield extended
+
+    def _solve_builtin(self, atom: Atom, subst: Substitution) -> Iterator[Substitution]:
+        builtin = self.builtins[atom.pred]
+        if atom.arity != builtin.arity:
+            raise DatalogError(f"{atom.pred}/{atom.arity}: expected arity {builtin.arity}")
+        args: List[Optional[Any]] = []
+        for term in atom.terms:
+            if isinstance(term, Const):
+                args.append(term.value)
+            else:
+                args.append(subst.get(term))
+        try:
+            # builtins are generators: force them so binding-mode errors
+            # surface as DatalogError here rather than mid-iteration
+            solutions = list(builtin.solve(args))
+        except ValueError as exc:
+            raise DatalogError(f"builtin {atom.pred!r}: {exc}") from exc
+        for solution in solutions:
+            extended = self._unify(atom, solution, subst)
+            if extended is not None:
+                yield extended
+
+    @staticmethod
+    def _unify(atom: Atom, fact: Fact, subst: Substitution) -> Optional[Substitution]:
+        if len(fact) != len(atom.terms):
+            return None
+        out = subst
+        copied = False
+        for term, value in zip(atom.terms, fact):
+            if isinstance(term, Const):
+                if term.value != value:
+                    return None
+            else:
+                bound = out.get(term, _MISSING)
+                if bound is _MISSING:
+                    if not copied:
+                        out = dict(out)
+                        copied = True
+                    out[term] = value
+                elif bound != value:
+                    return None
+        return out
+
+    @staticmethod
+    def _require_ground(atom: Atom, subst: Substitution, what: str) -> Fact:
+        values = []
+        for term in atom.terms:
+            if isinstance(term, Const):
+                values.append(term.value)
+            elif term in subst:
+                values.append(subst[term])
+            else:
+                raise DatalogError(
+                    f"{what} {atom!r} has unbound variable {term.name!r}; "
+                    "reorder the rule body"
+                )
+        return tuple(values)
+
+    def _eval_rule(
+        self,
+        rule: Rule,
+        database: Dict[str, Set[Fact]],
+        delta: Optional[Dict[str, Set[Fact]]],
+    ) -> Set[Fact]:
+        """All head facts derivable from ``database``; with ``delta`` set,
+        only derivations using at least one delta literal (semi-naive)."""
+        derived: Set[Fact] = set()
+        positions = range(len(rule.body))
+        if delta is None:
+            plans: List[Optional[int]] = [None]
+        else:
+            plans = [
+                i
+                for i in positions
+                if not rule.body[i].negated
+                and rule.body[i].atom.pred in delta
+                and delta[rule.body[i].atom.pred]
+            ]
+        for delta_position in plans:
+            stack: List[Tuple[int, Substitution]] = [(0, {})]
+            while stack:
+                index, subst = stack.pop()
+                if index == len(rule.body):
+                    derived.add(rule.head.ground(subst))
+                    continue
+                literal = rule.body[index]
+                restrict = None
+                if delta_position is not None and index == delta_position:
+                    restrict = delta[literal.atom.pred]
+                for extended in self._solve_literal(literal, subst, database, restrict):
+                    stack.append((index + 1, extended))
+        return derived
+
+    def evaluate(self) -> Dict[str, Set[Fact]]:
+        """Compute the full model (memoized until facts/rules change)."""
+        if self._computed is not None:
+            return self._computed
+        database: Dict[str, Set[Fact]] = {
+            pred: set(facts) for pred, facts in self.facts.items()
+        }
+        for stratum in self._stratify():
+            stratum_preds = set(stratum)
+            rules = [rule for rule in self.rules if rule.head.pred in stratum_preds]
+            # naive first round
+            delta: Dict[str, Set[Fact]] = {}
+            for rule in rules:
+                new = self._eval_rule(rule, database, None)
+                existing = database.setdefault(rule.head.pred, set())
+                fresh = new - existing
+                existing |= fresh
+                if fresh:
+                    delta.setdefault(rule.head.pred, set()).update(fresh)
+            # semi-naive iterations
+            while delta:
+                next_delta: Dict[str, Set[Fact]] = {}
+                for rule in rules:
+                    new = self._eval_rule(rule, database, delta)
+                    existing = database.setdefault(rule.head.pred, set())
+                    fresh = new - existing
+                    existing |= fresh
+                    if fresh:
+                        next_delta.setdefault(rule.head.pred, set()).update(fresh)
+                delta = next_delta
+        self._computed = database
+        return database
+
+    def query(self, pred: str) -> Set[Fact]:
+        """All facts of ``pred`` in the computed model."""
+        return set(self.evaluate().get(pred, set()))
+
+
+_MISSING = object()

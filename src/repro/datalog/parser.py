@@ -1,0 +1,167 @@
+"""Text syntax for Datalog rules.
+
+Grammar (one rule per ``.``-terminated statement)::
+
+    rule    := atom [ ":-" literal ("," literal)* ] "."
+    literal := ["not" | "¬"] atom
+    atom    := pred "(" term ("," term)* ")"
+    term    := Variable        (capitalized identifier)
+             | 'string' | "string" | integer | identifier (lowercase const)
+
+Comments run from ``%`` to end of line.  Example (the hierarchical
+inference rule, Section 2.1.3)::
+
+    prov(T, Op, P, Q) :- hprov(T, Op, P, Q).
+    prov(T, "C", PA, QA) :- node(T, PA), path_join(P, A, PA),
+        prov(T, "C", P, Q), not hprov_at(T, PA), path_join(Q, A, QA).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ast import Atom, Const, Literal, Rule, Term, Var
+from .engine import DatalogError
+
+__all__ = ["parse_rule", "parse_program"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>%[^\n]*)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<number>-?\d+)
+      | (?P<punct>:-|\(|\)|,|\.|¬)
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise DatalogError(f"cannot tokenize near {remainder[:20]!r}")
+        position = match.end()
+        for kind in ("comment", "string", "number", "punct", "word"):
+            value = match.group(kind)
+            if value is not None:
+                if kind != "comment":
+                    tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise DatalogError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        kind, value = self.next()
+        if value != text:
+            raise DatalogError(f"expected {text!r}, got {value!r}")
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _parse_term(cursor: _Cursor) -> Term:
+    kind, value = cursor.next()
+    if kind == "string":
+        return Const(value[1:-1])
+    if kind == "number":
+        return Const(int(value))
+    if kind == "word":
+        if value[0].isupper():
+            return Var(value)
+        if value == "null":
+            return Const(None)
+        return Const(value)
+    raise DatalogError(f"expected a term, got {value!r}")
+
+
+def _parse_atom(cursor: _Cursor) -> Atom:
+    kind, pred = cursor.next()
+    if kind != "word" or pred[0].isupper():
+        raise DatalogError(f"expected a predicate name, got {pred!r}")
+    cursor.expect("(")
+    terms = [_parse_term(cursor)]
+    while True:
+        kind, value = cursor.next()
+        if value == ")":
+            break
+        if value != ",":
+            raise DatalogError(f"expected ',' or ')', got {value!r}")
+        terms.append(_parse_term(cursor))
+    return Atom(pred, tuple(terms))
+
+
+def _parse_literal(cursor: _Cursor) -> Literal:
+    token = cursor.peek()
+    negated = False
+    if token is not None and token[1] in ("not", "¬"):
+        cursor.next()
+        negated = True
+    return Literal(_parse_atom(cursor), negated=negated)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (must include the trailing period or not —
+    both accepted)."""
+    cursor = _Cursor(_tokenize(text))
+    rule = _parse_one(cursor)
+    if not cursor.at_end():
+        raise DatalogError(f"trailing tokens after rule: {text!r}")
+    return rule
+
+
+def _parse_one(cursor: _Cursor) -> Rule:
+    head = _parse_atom(cursor)
+    token = cursor.peek()
+    if token is None or token[1] == ".":
+        if token is not None:
+            cursor.next()
+        return Rule(head, ())
+    cursor.expect(":-")
+    body = [_parse_literal(cursor)]
+    while True:
+        token = cursor.peek()
+        if token is None:
+            break
+        if token[1] == ",":
+            cursor.next()
+            body.append(_parse_literal(cursor))
+            continue
+        if token[1] == ".":
+            cursor.next()
+            break
+        raise DatalogError(f"expected ',' or '.', got {token[1]!r}")
+    return Rule(head, tuple(body))
+
+
+def parse_program(text: str) -> List[Rule]:
+    """Parse a sequence of rules."""
+    cursor = _Cursor(_tokenize(text))
+    rules: List[Rule] = []
+    while not cursor.at_end():
+        rules.append(_parse_one(cursor))
+    return rules

@@ -1,0 +1,135 @@
+"""The paper's provenance Datalog, transcribed for the engine.
+
+Two programs are provided:
+
+* :func:`inference_program` — the recursive HProv → Prov view of
+  Section 2.1.3 (with the guard on the *child* path; see
+  :mod:`repro.core.inference` for the note on the paper's typo);
+* :func:`query_program` — Trace/Src/Hist/Mod of Section 2.2, seeded at a
+  query location the way CPDB's stored procedures were.
+
+Both take plain :class:`~repro.core.provenance.ProvRecord` lists, so they
+run against any store's contents; the test suite uses them to check that
+the procedural implementations in :mod:`repro.core.queries` and
+:mod:`repro.core.inference` compute the declarative semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core.paths import Path
+from ..core.provenance import ProvRecord
+from ..core.updates import Workspace
+from .engine import Program
+from .parser import parse_program
+
+__all__ = ["inference_program", "query_program", "load_prov_facts"]
+
+_INFERENCE_RULES = """
+hprov_at(T, P) :- hprov(T, Op, P, Q).
+prov(T, Op, P, Q) :- hprov(T, Op, P, Q).
+prov(T, "C", PA, QA) :- node(T, PA), path_join(P, A, PA),
+    prov(T, "C", P, Q), not hprov_at(T, PA), path_join(Q, A, QA).
+prov(T, "I", PA, null) :- node(T, PA), path_join(P, A, PA),
+    prov(T, "I", P, null), not hprov_at(T, PA).
+prov(T, "D", PA, null) :- dnode(T, PA), path_join(P, A, PA),
+    prov(T, "D", P, null), not hprov_at(T, PA).
+"""
+
+_QUERY_RULES = """
+changed(T, P) :- prov(T, Op, P, Q).
+
+% at(Q, U): the data now at the query location sat at Q at the end of U.
+at(Q, U) :- at(P, T), prov(T, "C", P, Q), head_label(Q, Target),
+    target(Target), sub1(T, U), leq(0, U).
+at(P, U) :- at(P, T), not changed(T, P), sub1(T, U), leq(1, U).
+
+src_result(U) :- at(Q, U), prov(U, "I", Q, null).
+hist_result(U) :- at(Q, U), prov(U, "C", Q, S).
+
+% reach(R, B): data under subtree R at epochs <= B contributed to the
+% subtree now under the query location.
+mod_result(U) :- reach(R, B), prov(U, Op, Q, S), prefix(R, Q), leq(U, B).
+reach(S2, B2) :- reach(R, B), prov(U, "C", Q, S2), prefix(R, Q),
+    leq(U, B), head_label(S2, Target), target(Target), sub1(U, B2).
+"""
+
+
+def load_prov_facts(program: Program, records: Iterable[ProvRecord], pred: str) -> None:
+    """Load provenance records as ``pred(tid, op, loc, src)`` facts
+    (``src`` is ``None`` for inserts and deletes)."""
+    for record in records:
+        program.add_fact(
+            pred,
+            (
+                record.tid,
+                record.op,
+                str(record.loc),
+                str(record.src) if record.src is not None else None,
+            ),
+        )
+
+
+def inference_program(
+    hprov: Iterable[ProvRecord],
+    states: Dict[int, Workspace],
+) -> Program:
+    """The HProv → Prov view, with path domains drawn from the workspace
+    states: ``node(t, p)`` enumerates post-state paths of transaction
+    ``t`` (for C/I inference) and ``dnode(t, p)`` pre-state paths (for D
+    inference).  ``states[t]`` is the state at the end of ``t``."""
+    program = Program()
+    records = list(hprov)
+    load_prov_facts(program, records, "hprov")
+    tids = sorted({record.tid for record in records})
+    for tid in tids:
+        post = states[tid]
+        pre = states[tid - 1]
+        for name, tree in post.roots.items():
+            for sub, _node in tree.nodes():
+                path = Path([name]).join(sub)
+                program.add_fact("node", (tid, str(path)))
+        for name, tree in pre.roots.items():
+            for sub, _node in tree.nodes():
+                path = Path([name]).join(sub)
+                program.add_fact("dnode", (tid, str(path)))
+    for rule in parse_program(_INFERENCE_RULES):
+        program.add_rule(rule)
+    return program
+
+
+def query_program(
+    prov: Iterable[ProvRecord],
+    loc: "Path | str",
+    tnow: int,
+    target_name: str = "T",
+) -> Program:
+    """Src/Hist/Mod for the data at ``loc`` as of transaction ``tnow``.
+
+    ``prov`` must be a *full* provenance table (for hierarchical stores,
+    expand first with :func:`repro.core.inference.expand_all` or run the
+    inference program)."""
+    program = Program()
+    load_prov_facts(program, prov, "prov")
+    program.add_fact("target", (target_name,))
+    program.add_fact("at", (str(Path.of(loc)), tnow))
+    program.add_fact("reach", (str(Path.of(loc)), tnow))
+    for rule in parse_program(_QUERY_RULES):
+        program.add_rule(rule)
+    return program
+
+
+def run_queries(
+    prov: Iterable[ProvRecord],
+    loc: "Path | str",
+    tnow: int,
+    target_name: str = "T",
+) -> Dict[str, Set[int]]:
+    """Convenience: evaluate the query program and project the results."""
+    program = query_program(prov, loc, tnow, target_name)
+    return {
+        "src": {fact[0] for fact in program.query("src_result")},
+        "hist": {fact[0] for fact in program.query("hist_result")},
+        "mod": {fact[0] for fact in program.query("mod_result")},
+    }

@@ -1,0 +1,75 @@
+"""An embedded relational engine: the reproduction's MySQL substitute.
+
+Public surface:
+
+* :class:`Database` — catalog, transactions, WAL durability;
+* :class:`TableSchema` / :class:`Column` / :class:`IndexSpec` — DDL objects;
+* :func:`execute_sql` — the SQL subset;
+* :class:`Query` and the expression AST — programmatic queries;
+* :class:`StoreClient` — round-trip-accounted connection used by the
+  provenance stores and the benchmark harness.
+"""
+
+from .client import StoreClient
+from .db import Database
+from .errors import (
+    ConstraintError,
+    DuplicateKeyError,
+    SchemaError,
+    SQLError,
+    StorageError,
+    TransactionError,
+    UnknownColumnError,
+    UnknownTableError,
+    WALError,
+)
+from .expr import (
+    And,
+    Cmp,
+    Col,
+    Concat,
+    Const,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    PrefixMatch,
+)
+from .query import JoinSpec, Query, TableRef
+from .schema import Column, IndexSpec, TableSchema
+from .sql import execute_sql
+from .table import Table
+from .types import ColumnType
+
+__all__ = [
+    "Database",
+    "StoreClient",
+    "Table",
+    "TableSchema",
+    "Column",
+    "IndexSpec",
+    "ColumnType",
+    "Query",
+    "TableRef",
+    "JoinSpec",
+    "execute_sql",
+    "And",
+    "Cmp",
+    "Col",
+    "Concat",
+    "Const",
+    "InList",
+    "IsNull",
+    "Not",
+    "Or",
+    "PrefixMatch",
+    "StorageError",
+    "SchemaError",
+    "ConstraintError",
+    "DuplicateKeyError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "TransactionError",
+    "SQLError",
+    "WALError",
+]

@@ -1,0 +1,279 @@
+"""The embedded database: catalog, transactions, WAL, and query execution.
+
+This is the reproduction's MySQL substitute.  It holds the provenance
+store and the relational source database (the OrganelleDB stand-in).
+Transactions provide atomicity via an undo list and durability via the
+write-ahead log; ``Database.recover`` rebuilds table contents from the log
+after a simulated crash.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import (
+    TransactionError,
+    UnknownTableError,
+)
+from .expr import Expr
+from .plan import PlanNode
+from .query import Query, plan_query
+from .schema import Column, IndexSpec, TableSchema
+from .table import Table
+from .wal import (
+    KIND_ABORT,
+    KIND_BEGIN,
+    KIND_COMMIT,
+    KIND_DELETE,
+    KIND_INSERT,
+    WalRecord,
+    WriteAheadLog,
+    replay_committed,
+)
+
+__all__ = ["Database"]
+
+
+@dataclass
+class _UndoEntry:
+    kind: str  # "insert" or "delete"
+    table: str
+    rowid: int
+    row: Tuple[Any, ...]
+
+
+class Database:
+    """A named catalog of tables with optional WAL-backed durability.
+
+    ``wal_dir=None`` (the default) runs fully in memory, which is what the
+    provenance experiments use; passing a directory enables the journal.
+    """
+
+    def __init__(self, name: str = "db", wal_dir: Optional[str] = None) -> None:
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+        self._wal: Optional[WriteAheadLog] = None
+        self._wal_dir = wal_dir
+        self._next_txn_id = 1
+        self._active_txn: Optional[int] = None
+        self._undo: List[_UndoEntry] = []
+        self._schemas: Dict[str, TableSchema] = {}
+        if wal_dir is not None:
+            os.makedirs(wal_dir, exist_ok=True)
+            self._wal = WriteAheadLog(os.path.join(wal_dir, f"{name}.wal"), self._schemas)
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self.tables:
+            raise UnknownTableError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        # A primary key is also an index; register it for planning.
+        if schema.primary_key and table.index_on(schema.primary_key) is None:
+            table.create_index(
+                IndexSpec(f"{schema.name}_pk_idx", tuple(schema.primary_key), unique=True)
+            )
+        self.tables[schema.name] = table
+        self._schemas[schema.name] = schema
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise UnknownTableError(f"no table {name!r}")
+        del self.tables[name]
+        del self._schemas[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._active_txn is not None
+
+    def begin(self) -> int:
+        if self._active_txn is not None:
+            raise TransactionError("a transaction is already active")
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        self._active_txn = txn_id
+        self._undo = []
+        if self._wal is not None:
+            self._wal.append(WalRecord(KIND_BEGIN, txn_id))
+        return txn_id
+
+    def commit(self) -> None:
+        if self._active_txn is None:
+            raise TransactionError("no active transaction to commit")
+        if self._wal is not None:
+            self._wal.append(WalRecord(KIND_COMMIT, self._active_txn))
+            self._wal.flush()
+        self._active_txn = None
+        self._undo = []
+
+    def rollback(self) -> None:
+        if self._active_txn is None:
+            raise TransactionError("no active transaction to roll back")
+        for entry in reversed(self._undo):
+            table = self.tables[entry.table]
+            if entry.kind == "insert":
+                table.delete_row(entry.rowid)
+            else:  # undo a delete by re-inserting the old row
+                saved = table._next_rowid
+                table._next_rowid = entry.rowid
+                try:
+                    table.insert(entry.row)
+                finally:
+                    table._next_rowid = max(saved, entry.rowid + 1)
+        if self._wal is not None:
+            self._wal.append(WalRecord(KIND_ABORT, self._active_txn))
+        self._active_txn = None
+        self._undo = []
+
+    def _autocommit(self) -> bool:
+        """Begin an implicit transaction if none is active."""
+        if self._active_txn is None:
+            self.begin()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def insert(self, table_name: str, row: "Sequence[Any] | Dict[str, Any]") -> int:
+        table = self.table(table_name)
+        implicit = self._autocommit()
+        try:
+            rowid = table.insert(row)
+        except Exception:
+            if implicit:
+                self.rollback()
+            raise
+        stored = table.get(rowid)
+        self._undo.append(_UndoEntry("insert", table_name, rowid, stored))
+        if self._wal is not None:
+            self._wal.append(WalRecord(KIND_INSERT, self._active_txn, table_name, stored))
+        if implicit:
+            self.commit()
+        return rowid
+
+    def insert_many(
+        self, table_name: str, rows: Sequence["Sequence[Any] | Dict[str, Any]"]
+    ) -> List[int]:
+        implicit = self._autocommit()
+        rowids = []
+        try:
+            for row in rows:
+                rowids.append(self.insert(table_name, row))
+        except Exception:
+            if implicit:
+                self.rollback()
+            raise
+        if implicit:
+            self.commit()
+        return rowids
+
+    def delete_where(self, table_name: str, predicate: Optional[Expr] = None) -> int:
+        """Delete matching rows; returns the count."""
+        table = self.table(table_name)
+        implicit = self._autocommit()
+        doomed: List[int] = []
+        for rowid, row in table.scan():
+            env = table.schema.row_as_dict(row)
+            if predicate is None or predicate.eval(env):
+                doomed.append(rowid)
+        for rowid in doomed:
+            row = table.get(rowid)
+            table.delete_row(rowid)
+            self._undo.append(_UndoEntry("delete", table_name, rowid, row))
+            if self._wal is not None:
+                self._wal.append(WalRecord(KIND_DELETE, self._active_txn, table_name, row))
+        if implicit:
+            self.commit()
+        return len(doomed)
+
+    def update_where(
+        self, table_name: str, changes: Dict[str, Any], predicate: Optional[Expr] = None
+    ) -> int:
+        """Update matching rows (modeled as delete+insert in the WAL)."""
+        table = self.table(table_name)
+        implicit = self._autocommit()
+        victims: List[int] = []
+        for rowid, row in table.scan():
+            env = table.schema.row_as_dict(row)
+            if predicate is None or predicate.eval(env):
+                victims.append(rowid)
+        for rowid in victims:
+            old, new = table.update_row(rowid, changes)
+            self._undo.append(_UndoEntry("delete", table_name, rowid, old))
+            self._undo.append(_UndoEntry("insert", table_name, rowid, new))
+            if self._wal is not None:
+                self._wal.append(WalRecord(KIND_DELETE, self._active_txn, table_name, old))
+                self._wal.append(WalRecord(KIND_INSERT, self._active_txn, table_name, new))
+        if implicit:
+            self.commit()
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> PlanNode:
+        return plan_query(self.tables, query)
+
+    def execute(self, query: Query) -> List[Dict[str, Any]]:
+        return list(self.plan(query).execute())
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate a crash: drop all in-memory state, keep the WAL file."""
+        if self._wal is not None:
+            self._wal.crash()
+        for table in self.tables.values():
+            table.clear()
+        self._active_txn = None
+        self._undo = []
+
+    def recover(self) -> int:
+        """REDO recovery: replay committed transactions from the WAL.
+
+        Returns the number of transactions replayed.  Tables must already
+        exist (schema is metadata, not logged — as in most real systems).
+        """
+        if self._wal is None:
+            raise TransactionError("this database has no WAL to recover from")
+        replayed = 0
+        for txn_id, records in replay_committed(self._wal):
+            for record in records:
+                table = self.table(record.table)
+                if record.kind == KIND_INSERT:
+                    table.insert(record.row)
+                else:
+                    for rowid, row in list(table.scan()):
+                        if row == record.row:
+                            table.delete_row(rowid)
+                            break
+            replayed += 1
+            self._next_txn_id = max(self._next_txn_id, txn_id + 1)
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            name: {"rows": table.row_count, "bytes": table.byte_size}
+            for name, table in self.tables.items()
+        }

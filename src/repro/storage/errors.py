@@ -1,0 +1,51 @@
+"""Exception hierarchy for the embedded relational engine."""
+
+from __future__ import annotations
+
+__all__ = [
+    "StorageError",
+    "SchemaError",
+    "ConstraintError",
+    "DuplicateKeyError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "TransactionError",
+    "SQLError",
+    "WALError",
+]
+
+
+class StorageError(Exception):
+    """Base class for every error raised by :mod:`repro.storage`."""
+
+
+class SchemaError(StorageError):
+    """Invalid schema definition or a value violating a column type."""
+
+
+class ConstraintError(StorageError):
+    """A constraint (NOT NULL, primary key, unique index) was violated."""
+
+
+class DuplicateKeyError(ConstraintError):
+    """A primary-key or unique-index collision."""
+
+
+class UnknownTableError(StorageError):
+    """Referenced table does not exist in the catalog."""
+
+
+class UnknownColumnError(StorageError):
+    """Referenced column does not exist in the schema."""
+
+
+class TransactionError(StorageError):
+    """Invalid transaction state transition (e.g. commit without begin)."""
+
+
+class SQLError(StorageError):
+    """Syntax or semantic error in the SQL subset."""
+
+
+class WALError(StorageError):
+    """Corrupt or unreadable write-ahead-log content."""

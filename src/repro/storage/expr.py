@@ -1,0 +1,223 @@
+"""Scalar expressions over rows: the predicate/projection language.
+
+Expressions evaluate against an *environment* mapping column names to
+values (qualified names like ``p.loc`` are plain keys).  The planner
+inspects predicate structure to choose index access paths, so the AST is
+deliberately small and analyzable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import UnknownColumnError
+
+__all__ = [
+    "Expr",
+    "Col",
+    "Const",
+    "Cmp",
+    "And",
+    "Or",
+    "Not",
+    "IsNull",
+    "InList",
+    "PrefixMatch",
+    "Concat",
+    "conjuncts",
+]
+
+Env = Dict[str, Any]
+
+
+class Expr:
+    """Base class; subclasses are frozen dataclasses."""
+
+    def eval(self, env: Env) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """The set of column names this expression references."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    name: str
+
+    def eval(self, env: Env) -> Any:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise UnknownColumnError(f"unbound column {self.name!r}") from None
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: Any
+
+    def eval(self, env: Env) -> Any:
+        return self.value
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """Binary comparison.  NULL compares to nothing (SQL-ish semantics):
+    any comparison involving NULL evaluates to False."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def eval(self, env: Env) -> bool:
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        if left is None or right is None:
+            return False
+        return _OPS[self.op](left, right)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    parts: Tuple[Expr, ...]
+
+    def __init__(self, *parts: Expr) -> None:
+        flattened: List[Expr] = []
+        for part in parts:
+            if isinstance(part, And):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        object.__setattr__(self, "parts", tuple(flattened))
+
+    def eval(self, env: Env) -> bool:
+        return all(part.eval(env) for part in self.parts)
+
+    def columns(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.columns()
+        return result
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    parts: Tuple[Expr, ...]
+
+    def __init__(self, *parts: Expr) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def eval(self, env: Env) -> bool:
+        return any(part.eval(env) for part in self.parts)
+
+    def columns(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.columns()
+        return result
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    inner: Expr
+
+    def eval(self, env: Env) -> bool:
+        return not self.inner.eval(env)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.inner.columns()
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    inner: Expr
+    negated: bool = False
+
+    def eval(self, env: Env) -> bool:
+        result = self.inner.eval(env) is None
+        return not result if self.negated else result
+
+    def columns(self) -> FrozenSet[str]:
+        return self.inner.columns()
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    inner: Expr
+    options: Tuple[Any, ...]
+
+    def eval(self, env: Env) -> bool:
+        return self.inner.eval(env) in self.options
+
+    def columns(self) -> FrozenSet[str]:
+        return self.inner.columns()
+
+
+@dataclass(frozen=True)
+class PrefixMatch(Expr):
+    """``col LIKE 'prefix%'`` — the descendant-of access pattern on paths."""
+
+    column: Col
+    prefix: str
+
+    def eval(self, env: Env) -> bool:
+        value = self.column.eval(env)
+        return isinstance(value, str) and value.startswith(self.prefix)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.column.columns()
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """String concatenation — the paper builds paths with ``+`` in queries
+    mixing provenance and raw data (Section 2.2)."""
+
+    parts: Tuple[Expr, ...]
+
+    def __init__(self, *parts: Expr) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def eval(self, env: Env) -> str:
+        return "".join(str(part.eval(env)) for part in self.parts)
+
+    def columns(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.columns()
+        return result
+
+
+def conjuncts(expr: Optional[Expr]) -> Iterator[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return
+    if isinstance(expr, And):
+        for part in expr.parts:
+            yield from conjuncts(part)
+    else:
+        yield expr

@@ -1,0 +1,155 @@
+"""In-memory secondary indexes: hash (equality) and ordered (range/prefix).
+
+The provenance workload needs two access paths:
+
+* equality on ``tid`` (all changes in a transaction) — hash index;
+* prefix on ``loc`` (all records under a subtree, the ``Mod`` query and
+  hierarchical inference) — ordered index with prefix range scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from .errors import DuplicateKeyError
+
+__all__ = ["HashIndex", "OrderedIndex"]
+
+Key = Tuple[Any, ...]
+
+
+class HashIndex:
+    """Equality index mapping key tuples to sets of row ids."""
+
+    def __init__(self, name: str, unique: bool = False) -> None:
+        self.name = name
+        self.unique = unique
+        self._buckets: Dict[Key, Set[int]] = {}
+
+    def insert(self, key: Key, rowid: int) -> None:
+        bucket = self._buckets.setdefault(key, set())
+        if self.unique and bucket:
+            raise DuplicateKeyError(f"duplicate key {key!r} in unique index {self.name!r}")
+        bucket.add(rowid)
+
+    def delete(self, key: Key, rowid: int) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: Key) -> Set[int]:
+        return set(self._buckets.get(key, ()))
+
+    def contains(self, key: Key) -> bool:
+        return key in self._buckets
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+
+class _NegInf:
+    """Sorts before every other value (for open-ended range scans)."""
+
+    def __lt__(self, other: object) -> bool:
+        return True
+
+    def __gt__(self, other: object) -> bool:
+        return False
+
+
+class OrderedIndex:
+    """Sorted index over key tuples supporting range and prefix scans.
+
+    Implemented as a sorted list of ``(key, rowid)`` pairs maintained with
+    :mod:`bisect`.  Insertion is O(n) in the worst case, which is perfectly
+    adequate at the paper's scale (tens of thousands of provenance rows)
+    and keeps the implementation transparent.
+    """
+
+    def __init__(self, name: str, unique: bool = False) -> None:
+        self.name = name
+        self.unique = unique
+        self._entries: List[Tuple[Key, int]] = []
+
+    def insert(self, key: Key, rowid: int) -> None:
+        entry = (key, rowid)
+        position = bisect.bisect_left(self._entries, entry)
+        if self.unique:
+            if position < len(self._entries) and self._entries[position][0] == key:
+                raise DuplicateKeyError(
+                    f"duplicate key {key!r} in unique index {self.name!r}"
+                )
+            if position > 0 and self._entries[position - 1][0] == key:
+                raise DuplicateKeyError(
+                    f"duplicate key {key!r} in unique index {self.name!r}"
+                )
+        self._entries.insert(position, entry)
+
+    def delete(self, key: Key, rowid: int) -> None:
+        entry = (key, rowid)
+        position = bisect.bisect_left(self._entries, entry)
+        if position < len(self._entries) and self._entries[position] == entry:
+            self._entries.pop(position)
+
+    def lookup(self, key: Key) -> Set[int]:
+        result: Set[int] = set()
+        position = bisect.bisect_left(self._entries, (key, -1))
+        while position < len(self._entries) and self._entries[position][0] == key:
+            result.add(self._entries[position][1])
+            position += 1
+        return result
+
+    def range(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Yield row ids with ``low <= key <= high`` (bounds optional)."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._entries, (low, -1))
+        else:
+            start = bisect.bisect_right(self._entries, (low, float("inf")))
+        for index in range(start, len(self._entries)):
+            key, rowid = self._entries[index]
+            if high is not None:
+                if include_high:
+                    if key > high:
+                        break
+                elif key >= high:
+                    break
+            yield rowid
+
+    def prefix_scan(self, prefix: str) -> Iterator[int]:
+        """Row ids whose *first* key component is a string with ``prefix``.
+
+        This implements the access path for ``loc LIKE 'T/a/%'``.
+        """
+        start = bisect.bisect_left(self._entries, ((prefix,), -1))
+        for index in range(start, len(self._entries)):
+            key, rowid = self._entries[index]
+            first = key[0]
+            if not isinstance(first, str) or not first.startswith(prefix):
+                break
+            yield rowid
+
+    def min_key(self) -> Optional[Key]:
+        return self._entries[0][0] if self._entries else None
+
+    def max_key(self) -> Optional[Key]:
+        return self._entries[-1][0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,311 @@
+"""Physical query plan operators (iterator model).
+
+Each operator yields *environments* (dicts from column name to value) so
+that joins can merge bindings from several tables; qualified output uses
+``alias.column`` keys when an alias is given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .expr import Col, Expr
+from .table import Table
+
+__all__ = [
+    "PlanNode",
+    "SeqScan",
+    "IndexEqScan",
+    "IndexPrefixScan",
+    "FilterNode",
+    "ProjectNode",
+    "HashJoinNode",
+    "NestedLoopJoinNode",
+    "SortNode",
+    "LimitNode",
+    "AggregateNode",
+    "DistinctNode",
+    "explain",
+]
+
+Env = Dict[str, Any]
+
+
+def _env_from_row(table: Table, row: Tuple[Any, ...], alias: Optional[str]) -> Env:
+    names = table.schema.column_names
+    env = dict(zip(names, row))
+    if alias:
+        for name, value in zip(names, row):
+            env[f"{alias}.{name}"] = value
+    return env
+
+
+class PlanNode:
+    """Base class for physical operators."""
+
+    def execute(self) -> Iterator[Env]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+
+@dataclass
+class SeqScan(PlanNode):
+    table: Table
+    alias: Optional[str] = None
+
+    def execute(self) -> Iterator[Env]:
+        for _rowid, row in self.table.scan():
+            yield _env_from_row(self.table, row, self.alias)
+
+    def describe(self) -> str:
+        return f"SeqScan({self.table.schema.name})"
+
+
+@dataclass
+class IndexEqScan(PlanNode):
+    table: Table
+    index_name: str
+    key: Tuple[Any, ...]
+    alias: Optional[str] = None
+
+    def execute(self) -> Iterator[Env]:
+        for _rowid, row in self.table.lookup_index(self.index_name, self.key):
+            yield _env_from_row(self.table, row, self.alias)
+
+    def describe(self) -> str:
+        return f"IndexEqScan({self.table.schema.name}.{self.index_name} = {self.key!r})"
+
+
+@dataclass
+class IndexPrefixScan(PlanNode):
+    table: Table
+    index_name: str
+    prefix: str
+    alias: Optional[str] = None
+
+    def execute(self) -> Iterator[Env]:
+        for _rowid, row in self.table.prefix_scan(self.index_name, self.prefix):
+            yield _env_from_row(self.table, row, self.alias)
+
+    def describe(self) -> str:
+        return f"IndexPrefixScan({self.table.schema.name}.{self.index_name} ~ {self.prefix!r}%)"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    child: PlanNode
+    predicate: Expr
+
+    def execute(self) -> Iterator[Env]:
+        for env in self.child.execute():
+            if self.predicate.eval(env):
+                yield env
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    child: PlanNode
+    outputs: List[Tuple[str, Expr]]  # (output name, expression)
+
+    def execute(self) -> Iterator[Env]:
+        for env in self.child.execute():
+            yield {name: expr.eval(env) for name, expr in self.outputs}
+
+    def describe(self) -> str:
+        return "Project(" + ", ".join(name for name, _ in self.outputs) + ")"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+@dataclass
+class HashJoinNode(PlanNode):
+    """Equi-join: build a hash table on the right input, probe with left."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: Expr
+    right_key: Expr
+
+    def execute(self) -> Iterator[Env]:
+        buckets: Dict[Any, List[Env]] = {}
+        for env in self.right.execute():
+            buckets.setdefault(self.right_key.eval(env), []).append(env)
+        for left_env in self.left.execute():
+            key = self.left_key.eval(left_env)
+            if key is None:
+                continue
+            for right_env in buckets.get(key, ()):
+                merged = dict(right_env)
+                merged.update(left_env)
+                yield merged
+
+    def describe(self) -> str:
+        return f"HashJoin({self.left_key!r} = {self.right_key!r})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+
+@dataclass
+class NestedLoopJoinNode(PlanNode):
+    """General join with an arbitrary predicate (used for non-equi joins)."""
+
+    left: PlanNode
+    right: PlanNode
+    predicate: Optional[Expr] = None
+
+    def execute(self) -> Iterator[Env]:
+        right_rows = list(self.right.execute())
+        for left_env in self.left.execute():
+            for right_env in right_rows:
+                merged = dict(right_env)
+                merged.update(left_env)
+                if self.predicate is None or self.predicate.eval(merged):
+                    yield merged
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self.predicate!r})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+
+@dataclass
+class SortNode(PlanNode):
+    child: PlanNode
+    keys: List[Tuple[Expr, bool]]  # (expression, descending)
+
+    def execute(self) -> Iterator[Env]:
+        rows = list(self.child.execute())
+
+        # Stable multi-key sort: apply keys right-to-left.
+        for expr, descending in reversed(self.keys):
+            rows.sort(
+                key=lambda env, e=expr: _null_safe_key(e.eval(env)),
+                reverse=descending,
+            )
+        return iter(rows)
+
+    def describe(self) -> str:
+        return f"Sort({len(self.keys)} keys)"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+def _null_safe_key(value: Any) -> Tuple[int, Any]:
+    """NULLs sort first; mixed types sort by type name then value."""
+    if value is None:
+        return (0, "", "")
+    return (1, type(value).__name__, value)
+
+
+@dataclass
+class LimitNode(PlanNode):
+    child: PlanNode
+    limit: Optional[int]
+    offset: int = 0
+
+    def execute(self) -> Iterator[Env]:
+        produced = 0
+        for count, env in enumerate(self.child.execute()):
+            if count < self.offset:
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            produced += 1
+            yield env
+
+    def describe(self) -> str:
+        return f"Limit({self.limit}, offset={self.offset})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+_AGGREGATES: Dict[str, Callable[[List[Any]], Any]] = {
+    "count": lambda values: len(values),
+    "sum": lambda values: sum(values) if values else 0,
+    "avg": lambda values: (sum(values) / len(values)) if values else None,
+    "min": lambda values: min(values) if values else None,
+    "max": lambda values: max(values) if values else None,
+}
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Hash aggregation with optional GROUP BY.
+
+    ``aggregates`` maps output names to ``(function, expression)``;
+    ``expression`` may be ``None`` for ``count(*)``.
+    """
+
+    child: PlanNode
+    group_by: List[Tuple[str, Expr]]
+    aggregates: List[Tuple[str, str, Optional[Expr]]]
+
+    def execute(self) -> Iterator[Env]:
+        groups: Dict[Tuple[Any, ...], List[Env]] = {}
+        for env in self.child.execute():
+            key = tuple(expr.eval(env) for _name, expr in self.group_by)
+            groups.setdefault(key, []).append(env)
+        if not self.group_by and not groups:
+            groups[()] = []
+        for key, rows in groups.items():
+            out: Env = {name: part for (name, _expr), part in zip(self.group_by, key)}
+            for out_name, function, expr in self.aggregates:
+                if function not in _AGGREGATES:
+                    raise ValueError(f"unknown aggregate {function!r}")
+                if expr is None:
+                    values: List[Any] = [1] * len(rows)
+                else:
+                    values = [v for v in (expr.eval(env) for env in rows) if v is not None]
+                out[out_name] = _AGGREGATES[function](values)
+            yield out
+
+    def describe(self) -> str:
+        names = ", ".join(name for name, _f, _e in self.aggregates)
+        return f"Aggregate({names})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    child: PlanNode
+
+    def execute(self) -> Iterator[Env]:
+        seen = set()
+        for env in self.child.execute():
+            key = tuple(sorted(env.items(), key=lambda kv: kv[0]))
+            if key not in seen:
+                seen.add(key)
+                yield env
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+def explain(node: PlanNode, indent: int = 0) -> str:
+    """Render a plan tree as indented text (for tests and debugging)."""
+    lines = ["  " * indent + node.describe()]
+    for child in node.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Logical queries and a rule-based planner choosing index access paths.
+
+The planner applies three rules, in order, to each table access:
+
+1. an equality conjunct covering an index's columns → ``IndexEqScan``;
+2. a ``PrefixMatch`` conjunct on the first column of an *ordered* index
+   → ``IndexPrefixScan`` (the ``loc LIKE 'p/%'`` descendant pattern);
+3. otherwise → ``SeqScan``.
+
+Residual conjuncts stay in a ``FilterNode`` above the access path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .errors import UnknownTableError
+from .expr import And, Cmp, Col, Const, Expr, PrefixMatch, conjuncts
+from .plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    HashJoinNode,
+    IndexEqScan,
+    IndexPrefixScan,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    SeqScan,
+    SortNode,
+)
+from .table import Table
+
+__all__ = ["TableRef", "JoinSpec", "Query", "plan_query"]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """An equi-join between the query's running result and a new table."""
+
+    table: TableRef
+    left_key: Expr
+    right_key: Expr
+
+
+@dataclass
+class Query:
+    """A logical SELECT query.
+
+    ``outputs`` of ``None`` means SELECT * (all columns of all tables,
+    unqualified names from the first table win on collision).
+    """
+
+    table: TableRef
+    joins: List[JoinSpec] = field(default_factory=list)
+    where: Optional[Expr] = None
+    outputs: Optional[List[Tuple[str, Expr]]] = None
+    group_by: List[Tuple[str, Expr]] = field(default_factory=list)
+    aggregates: List[Tuple[str, str, Optional[Expr]]] = field(default_factory=list)
+    order_by: List[Tuple[Expr, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+    having: Optional[Expr] = None
+    distinct: bool = False
+
+
+def _split_predicate_for(
+    binding: str, table: Table, predicate: Optional[Expr]
+) -> Tuple[List[Expr], Optional[Expr]]:
+    """Partition conjuncts into those referencing only ``binding``'s
+    columns (pushable) and the residual predicate."""
+    if predicate is None:
+        return [], None
+    local: List[Expr] = []
+    residual: List[Expr] = []
+    known = set(table.schema.column_names) | {
+        f"{binding}.{name}" for name in table.schema.column_names
+    }
+    for part in conjuncts(predicate):
+        if part.columns() and part.columns() <= known:
+            local.append(part)
+        else:
+            residual.append(part)
+    residual_expr: Optional[Expr]
+    if not residual:
+        residual_expr = None
+    elif len(residual) == 1:
+        residual_expr = residual[0]
+    else:
+        residual_expr = And(*residual)
+    return local, residual_expr
+
+
+def _strip_alias(name: str, binding: str) -> str:
+    prefix = binding + "."
+    return name[len(prefix):] if name.startswith(prefix) else name
+
+
+def _choose_access_path(
+    table: Table, binding: str, alias: Optional[str], local: List[Expr]
+) -> Tuple[PlanNode, List[Expr]]:
+    """Apply the planner rules; returns the access node and leftover
+    conjuncts that must still be filtered."""
+    eq_bindings: Dict[str, Any] = {}
+    eq_sources: Dict[str, Expr] = {}
+    for part in local:
+        if isinstance(part, Cmp) and part.op == "=":
+            if isinstance(part.left, Col) and isinstance(part.right, Const):
+                column = _strip_alias(part.left.name, binding)
+                eq_bindings[column] = part.right.value
+                eq_sources[column] = part
+            elif isinstance(part.right, Col) and isinstance(part.left, Const):
+                column = _strip_alias(part.right.name, binding)
+                eq_bindings[column] = part.left.value
+                eq_sources[column] = part
+
+    # Rule 1: equality index (including the primary-key-backed indexes).
+    for spec in table.index_specs.values():
+        if all(column in eq_bindings for column in spec.columns):
+            key = tuple(eq_bindings[column] for column in spec.columns)
+            used = {eq_sources[column] for column in spec.columns}
+            leftover = [part for part in local if part not in used]
+            return IndexEqScan(table, spec.name, key, alias), leftover
+
+    # Rule 2: prefix scan on an ordered index.
+    for part in local:
+        if isinstance(part, PrefixMatch):
+            column = _strip_alias(part.column.name, binding)
+            for spec in table.index_specs.values():
+                if spec.ordered and spec.columns[0] == column:
+                    leftover = [p for p in local if p is not part]
+                    # the prefix scan is exact (startswith), nothing residual
+                    return IndexPrefixScan(table, spec.name, part.prefix, alias), leftover
+
+    # Rule 3: fall back to a sequential scan.
+    return SeqScan(table, alias), list(local)
+
+
+def plan_query(tables: Dict[str, Table], query: Query) -> PlanNode:
+    """Compile a logical query to a physical plan."""
+
+    def get_table(ref: TableRef) -> Table:
+        try:
+            return tables[ref.name]
+        except KeyError:
+            raise UnknownTableError(f"unknown table {ref.name!r}") from None
+
+    base_table = get_table(query.table)
+    local, residual = _split_predicate_for(query.table.binding, base_table, query.where)
+    node, leftover = _choose_access_path(
+        base_table, query.table.binding, query.table.alias, local
+    )
+    if leftover:
+        node = FilterNode(node, And(*leftover) if len(leftover) > 1 else leftover[0])
+
+    for join in query.joins:
+        right_table = get_table(join.table)
+        right_local, residual = _split_predicate_for(
+            join.table.binding, right_table, residual
+        )
+        right_node, right_leftover = _choose_access_path(
+            right_table, join.table.binding, join.table.alias, right_local
+        )
+        if right_leftover:
+            right_node = FilterNode(
+                right_node,
+                And(*right_leftover) if len(right_leftover) > 1 else right_leftover[0],
+            )
+        node = HashJoinNode(node, right_node, join.left_key, join.right_key)
+
+    if residual is not None:
+        node = FilterNode(node, residual)
+
+    if query.aggregates or query.group_by:
+        node = AggregateNode(node, query.group_by, query.aggregates)
+        if query.having is not None:
+            # HAVING filters *groups*: it runs over aggregate outputs
+            node = FilterNode(node, query.having)
+    elif query.outputs is not None:
+        node = ProjectNode(node, query.outputs)
+
+    if query.distinct:
+        node = DistinctNode(node)
+    if query.order_by:
+        node = SortNode(node, query.order_by)
+    if query.limit is not None or query.offset:
+        node = LimitNode(node, query.limit, query.offset)
+    return node

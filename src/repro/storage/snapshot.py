@@ -1,0 +1,161 @@
+"""Database snapshots and checkpointing.
+
+A snapshot file holds the full catalog (schemas, indexes) and every
+table's rows in the binary codec; ``checkpoint`` atomically writes a
+snapshot and truncates the WAL, bounding recovery time.  Together with
+REDO recovery this completes the durability story: state = latest
+snapshot + committed WAL suffix.
+
+File format::
+
+    header   := magic "RPRO" u16 version u32 table_count
+    table    := u16 name_len name_bytes u32 schema_len schema_json
+                u32 row_count row*
+    row      := length-prefixed codec row (see repro.storage.codec)
+
+Schemas travel as JSON (they are metadata, not data) — column names,
+types, nullability, defaults, primary key, and index declarations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Any, Dict, List
+
+from .codec import decode_row, encode_row
+from .db import Database
+from .errors import StorageError
+from .schema import Column, IndexSpec, TableSchema
+from .types import ColumnType
+
+__all__ = ["save_snapshot", "load_snapshot", "checkpoint"]
+
+_MAGIC = b"RPRO"
+_VERSION = 1
+
+
+def _schema_to_json(schema: TableSchema) -> str:
+    return json.dumps(
+        {
+            "name": schema.name,
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.type.value,
+                    "nullable": column.nullable,
+                    "default": column.default,
+                }
+                for column in schema.columns
+            ],
+            "primary_key": list(schema.primary_key),
+            "indexes": [
+                {
+                    "name": spec.name,
+                    "columns": list(spec.columns),
+                    "unique": spec.unique,
+                    "ordered": spec.ordered,
+                }
+                for spec in schema.indexes
+            ],
+        }
+    )
+
+
+def _schema_from_json(text: str) -> TableSchema:
+    data = json.loads(text)
+    return TableSchema(
+        data["name"],
+        [
+            Column(
+                column["name"],
+                ColumnType(column["type"]),
+                nullable=column["nullable"],
+                default=column["default"],
+            )
+            for column in data["columns"]
+        ],
+        primary_key=tuple(data["primary_key"]),
+        indexes=tuple(
+            IndexSpec(
+                spec["name"],
+                tuple(spec["columns"]),
+                unique=spec["unique"],
+                ordered=spec["ordered"],
+            )
+            for spec in data["indexes"]
+        ),
+    )
+
+
+def save_snapshot(db: Database, path: str) -> int:
+    """Write the whole database to ``path``; returns bytes written.
+
+    The write goes to a temp file first and is renamed into place, so a
+    crash mid-snapshot never corrupts the previous snapshot."""
+    if db.in_transaction:
+        raise StorageError("cannot snapshot with an open transaction")
+    temp = path + ".tmp"
+    with open(temp, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<HI", _VERSION, len(db.tables)))
+        for name in sorted(db.tables):
+            table = db.tables[name]
+            schema_json = _schema_to_json(table.schema).encode("utf-8")
+            name_bytes = name.encode("utf-8")
+            handle.write(struct.pack("<H", len(name_bytes)))
+            handle.write(name_bytes)
+            handle.write(struct.pack("<I", len(schema_json)))
+            handle.write(schema_json)
+            handle.write(struct.pack("<I", table.row_count))
+            for _rowid, row in table.scan():
+                handle.write(encode_row(table.schema, row))
+        size = handle.tell()
+    os.replace(temp, path)
+    return size
+
+
+def load_snapshot(path: str, name: str = "db") -> Database:
+    """Rebuild a database from a snapshot file."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[:4] != _MAGIC:
+        raise StorageError(f"{path!r} is not a snapshot file")
+    (version, table_count) = struct.unpack_from("<HI", data, 4)
+    if version != _VERSION:
+        raise StorageError(f"unsupported snapshot version {version}")
+    offset = 10
+    db = Database(name)
+    for _ in range(table_count):
+        (name_len,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+        table_name = data[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        (schema_len,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        schema = _schema_from_json(data[offset : offset + schema_len].decode("utf-8"))
+        offset += schema_len
+        if schema.name != table_name:
+            raise StorageError(f"snapshot corruption: {table_name!r} vs {schema.name!r}")
+        db.create_table(schema)
+        (row_count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        rows: List[Any] = []
+        for _row in range(row_count):
+            row, offset = decode_row(schema, data, offset)
+            rows.append(row)
+        if rows:
+            db.insert_many(table_name, rows)
+    return db
+
+
+def checkpoint(db: Database, path: str) -> int:
+    """Snapshot the database and truncate its WAL (if any).
+
+    After a checkpoint, recovery = load_snapshot + replay of the (now
+    empty) log; the log stops growing without bound."""
+    size = save_snapshot(db, path)
+    if db._wal is not None:
+        db._wal.truncate()
+    return size

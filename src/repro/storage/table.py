@@ -1,0 +1,192 @@
+"""Heap table with primary-key enforcement and secondary index maintenance."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from .errors import ConstraintError, DuplicateKeyError, SchemaError
+from .index import HashIndex, OrderedIndex
+from .schema import IndexSpec, TableSchema
+
+__all__ = ["Table"]
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """Rows stored in an in-memory heap keyed by monotonically increasing
+    row ids, with automatic primary-key and secondary-index maintenance.
+
+    Byte accounting (``byte_size``) tracks the encoded size of the live
+    rows, which is what the paper reports for provenance store sizes.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._next_rowid = 1
+        self._byte_size = 0
+        self._pk_index: Optional[HashIndex] = None
+        if schema.primary_key:
+            self._pk_index = HashIndex(f"{schema.name}_pk", unique=True)
+        self._indexes: Dict[str, Union[HashIndex, OrderedIndex]] = {}
+        self._index_specs: Dict[str, IndexSpec] = {}
+        for spec in schema.indexes:
+            self.create_index(spec)
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def create_index(self, spec: IndexSpec) -> None:
+        if spec.name in self._indexes:
+            raise SchemaError(f"index {spec.name!r} already exists")
+        index: Union[HashIndex, OrderedIndex]
+        if spec.ordered:
+            index = OrderedIndex(spec.name, unique=spec.unique)
+        else:
+            index = HashIndex(spec.name, unique=spec.unique)
+        for rowid, row in self._rows.items():
+            index.insert(self.schema.project(row, spec.columns), rowid)
+        self._indexes[spec.name] = index
+        self._index_specs[spec.name] = spec
+
+    def index_on(self, columns: Sequence[str], ordered: Optional[bool] = None):
+        """Find an index covering exactly ``columns`` (order-sensitive)."""
+        wanted = tuple(columns)
+        for name, spec in self._index_specs.items():
+            if spec.columns != wanted:
+                continue
+            if ordered is not None and spec.ordered != ordered:
+                continue
+            return self._indexes[name]
+        return None
+
+    @property
+    def index_specs(self) -> Dict[str, IndexSpec]:
+        return dict(self._index_specs)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert(self, row: "Sequence[Any] | Dict[str, Any]") -> int:
+        """Insert a row; returns its row id."""
+        normalized = self.schema.normalize_row(row)
+        rowid = self._next_rowid
+        if self._pk_index is not None:
+            key = self.schema.key_of(normalized)
+            if any(part is None for part in key):
+                raise ConstraintError(
+                    f"primary key of {self.schema.name!r} may not contain NULL"
+                )
+            self._pk_index.insert(key, rowid)
+        try:
+            for name, index in self._indexes.items():
+                spec = self._index_specs[name]
+                index.insert(self.schema.project(normalized, spec.columns), rowid)
+        except DuplicateKeyError:
+            # roll back the partial index insertions
+            self._unindex(rowid, normalized, stop_at=name)
+            if self._pk_index is not None:
+                self._pk_index.delete(self.schema.key_of(normalized), rowid)
+            raise
+        self._rows[rowid] = normalized
+        self._next_rowid += 1
+        self._byte_size += self.schema.row_bytes(normalized)
+        return rowid
+
+    def _unindex(self, rowid: int, row: Row, stop_at: Optional[str] = None) -> None:
+        for name, index in self._indexes.items():
+            if name == stop_at:
+                break
+            spec = self._index_specs[name]
+            index.delete(self.schema.project(row, spec.columns), rowid)
+
+    def delete_row(self, rowid: int) -> Row:
+        """Delete by row id; returns the removed row."""
+        try:
+            row = self._rows.pop(rowid)
+        except KeyError:
+            raise ConstraintError(f"no row with id {rowid} in {self.schema.name!r}") from None
+        if self._pk_index is not None:
+            self._pk_index.delete(self.schema.key_of(row), rowid)
+        for name, index in self._indexes.items():
+            spec = self._index_specs[name]
+            index.delete(self.schema.project(row, spec.columns), rowid)
+        self._byte_size -= self.schema.row_bytes(row)
+        return row
+
+    def update_row(self, rowid: int, changes: Dict[str, Any]) -> Tuple[Row, Row]:
+        """Apply column changes to one row; returns ``(old, new)``."""
+        if rowid not in self._rows:
+            raise ConstraintError(f"no row with id {rowid} in {self.schema.name!r}")
+        old = self._rows[rowid]
+        merged = dict(zip(self.schema.column_names, old))
+        merged.update(changes)
+        new = self.schema.normalize_row(merged)
+        self.delete_row(rowid)
+        # reuse the same rowid to keep external references stable
+        saved_next = self._next_rowid
+        self._next_rowid = rowid
+        try:
+            self.insert(new)
+        finally:
+            self._next_rowid = max(saved_next, rowid + 1)
+        return old, new
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._byte_size = 0
+        if self._pk_index is not None:
+            self._pk_index.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[Tuple[int, Row]]:
+        """Full scan in row-id (insertion) order."""
+        for rowid in sorted(self._rows):
+            yield rowid, self._rows[rowid]
+
+    def get(self, rowid: int) -> Row:
+        return self._rows[rowid]
+
+    def lookup_pk(self, key: Tuple[Any, ...]) -> Optional[Tuple[int, Row]]:
+        if self._pk_index is None:
+            raise ConstraintError(f"table {self.schema.name!r} has no primary key")
+        rowids = self._pk_index.lookup(key)
+        if not rowids:
+            return None
+        rowid = next(iter(rowids))
+        return rowid, self._rows[rowid]
+
+    def lookup_index(self, index_name: str, key: Tuple[Any, ...]) -> Iterator[Tuple[int, Row]]:
+        index = self._indexes[index_name]
+        for rowid in sorted(index.lookup(key)):
+            yield rowid, self._rows[rowid]
+
+    def prefix_scan(self, index_name: str, prefix: str) -> Iterator[Tuple[int, Row]]:
+        index = self._indexes[index_name]
+        if not isinstance(index, OrderedIndex):
+            raise ConstraintError(f"index {index_name!r} does not support prefix scans")
+        for rowid in index.prefix_scan(prefix):
+            yield rowid, self._rows[rowid]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    @property
+    def byte_size(self) -> int:
+        """Encoded size in bytes of all live rows."""
+        return self._byte_size
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, rows={len(self._rows)})"

@@ -1,0 +1,280 @@
+"""The update patterns of Table 2 and deletion patterns of Table 3.
+
+Patterns are generated *offline* into concrete update scripts (sequences
+of :class:`~repro.core.updates.Update`), deterministically from a seed.
+Offline generation matters for comparability: the same script is replayed
+against all four storage methods, exactly as the paper ran each pattern
+once per method.
+
+Table 2::
+
+    add      all random adds
+    delete   all random deletes
+    copy     all random copies
+    ac-mix   equal mix of random adds and copies
+    mix      equal mix of random adds, deletes, copies
+    real     copy one subtree, add 3 nodes, delete 3 nodes (repeating)
+
+All copies are of subtrees of size four (a parent with three children)
+from the source into the target.
+
+Table 3 (deletion policies — which nodes deletes target, applied to the
+``mix`` pattern)::
+
+    del-random   paths deleted at random
+    del-add      all added paths deleted
+    del-copy     only copies deleted
+    del-mix      50-50 mix of adds and copies deleted
+    del-real     3 nodes from copied subtree deleted
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.paths import Path
+from ..core.tree import Tree
+from ..core.updates import Copy, Delete, Insert, Update
+
+__all__ = [
+    "PatternGenerator",
+    "generate_pattern",
+    "UPDATE_PATTERNS",
+    "DELETION_POLICIES",
+]
+
+UPDATE_PATTERNS = ("add", "delete", "copy", "ac-mix", "mix", "real")
+DELETION_POLICIES = ("del-random", "del-add", "del-copy", "del-mix", "del-real")
+
+
+class PatternGenerator:
+    """Generates valid update scripts against a shadow of the target.
+
+    The generator maintains its own shadow tree, applying each generated
+    operation to it, so every emitted operation is valid by construction
+    (no dangling deletes, no duplicate inserts) without consulting the
+    live editor.
+    """
+
+    def __init__(
+        self,
+        initial_target: Tree,
+        source_subtrees: Sequence[Path],
+        source_name: str = "S",
+        target_name: str = "T",
+        seed: int = 0,
+        deletion_policy: str = "del-random",
+        paste_area: "Path | str" = "imports",
+        subtree_child_labels: Sequence[str] = ("name", "organism", "localization"),
+    ) -> None:
+        if deletion_policy not in DELETION_POLICIES:
+            raise ValueError(f"unknown deletion policy {deletion_policy!r}")
+        self.shadow = initial_target.deep_copy()
+        self.source_subtrees = list(source_subtrees)
+        if not self.source_subtrees:
+            raise ValueError("need at least one copyable source subtree")
+        self.source_name = source_name
+        self.target_name = target_name
+        self.rng = random.Random(seed)
+        self.deletion_policy = deletion_policy
+        self.paste_area = Path.of(paste_area)
+        if not self.shadow.contains_path(self.paste_area):
+            raise ValueError(f"target has no paste area at {self.paste_area}")
+        #: the child labels every copied size-4 subtree carries (the synth
+        #: source's rows all share one schema, so this is a constant)
+        self.subtree_child_labels = tuple(subtree_child_labels)
+        self._fresh = 0
+        # victim pools (target-relative paths; lazily validated for liveness)
+        self._added: List[Path] = []
+        self._copied: List[Path] = []
+        # random deletes target pre-existing data too: random *paths*,
+        # i.e. small subtrees deep in the tree — never the paste area or
+        # a whole top-level section
+        self._initial: List[Path] = [
+            path
+            for path, node in initial_target.nodes()
+            if len(path) >= 2
+            and not self.paste_area.is_prefix_of(path)
+            and node.node_count() <= 4
+        ]
+        self._last_copy_children: List[Path] = []
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _abs(self, rel: Path) -> Path:
+        return Path([self.target_name]).join(rel)
+
+    def _fresh_label(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh:06d}"
+
+    def _alive(self, rel: Path) -> bool:
+        return self.shadow.contains_path(rel)
+
+    def _sample_live(self, pool: List[Path]) -> Optional[Path]:
+        """Pop random entries until a live one is found (lazy liveness)."""
+        while pool:
+            index = self.rng.randrange(len(pool))
+            pool[index], pool[-1] = pool[-1], pool[index]
+            candidate = pool.pop()
+            if self._alive(candidate):
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Atomic generators
+    # ------------------------------------------------------------------
+    def gen_add(self) -> Update:
+        """Insert a fresh node under the paste area (a leaf value half of
+        the time)."""
+        label = self._fresh_label("n")
+        value = self.rng.randint(0, 9999) if self.rng.random() < 0.5 else None
+        parent_rel = self.paste_area
+        update = Insert(label, value, self._abs(parent_rel))
+        parent = self.shadow.resolve(parent_rel)
+        parent.add_child(label, Tree.empty() if value is None else Tree.leaf(value))
+        rel = parent_rel.child(label)
+        self._added.append(rel)
+        return update
+
+    def gen_copy(self) -> Update:
+        """Copy a random size-4 source subtree to a fresh target label."""
+        src_rel = self.rng.choice(self.source_subtrees)
+        label = self._fresh_label("c")
+        dst_rel = self.paste_area.child(label)
+        update = Copy(
+            Path([self.source_name]).join(src_rel), self._abs(dst_rel)
+        )
+        # mirror the pasted subtree in the shadow: a parent carrying the
+        # source schema's three field children (values are irrelevant for
+        # victim selection, the labels must match the real paste)
+        pasted = Tree.empty()
+        children = []
+        for child_label in self.subtree_child_labels:
+            pasted.add_child(child_label, Tree.leaf(0))
+            children.append(dst_rel.child(child_label))
+        self.shadow.resolve(dst_rel.parent).add_child(label, pasted)
+        self._copied.append(dst_rel)
+        self._copied.extend(children)
+        self._last_copy_children = children
+        return update
+
+    def gen_delete(self) -> Optional[Update]:
+        """Delete a node chosen per the deletion policy; ``None`` when no
+        eligible victim remains (caller falls back)."""
+        victim = self._pick_victim()
+        if victim is None:
+            return None
+        update = Delete(victim.last, self._abs(victim.parent))
+        parent = self.shadow.resolve(victim.parent)
+        parent.remove_child(victim.last)
+        return update
+
+    def _pick_victim(self) -> Optional[Path]:
+        policy = self.deletion_policy
+        if policy == "del-add":
+            return self._sample_live(self._added)
+        if policy == "del-copy":
+            return self._sample_live(self._copied)
+        if policy == "del-mix":
+            pools = [self._added, self._copied]
+            self.rng.shuffle(pools)
+            return self._sample_live(pools[0]) or self._sample_live(pools[1])
+        if policy == "del-real":
+            while self._last_copy_children:
+                candidate = self._last_copy_children.pop()
+                if self._alive(candidate):
+                    return candidate
+            return self._sample_live(self._copied)
+        # del-random: anything live — created nodes or initial data
+        pools = [self._added, self._copied, self._initial]
+        self.rng.shuffle(pools)
+        for pool in pools:
+            victim = self._sample_live(pool)
+            if victim is not None:
+                return victim
+        return None
+
+    # ------------------------------------------------------------------
+    # Pattern drivers (Table 2)
+    # ------------------------------------------------------------------
+    def generate(self, pattern: str, steps: int) -> List[Update]:
+        if pattern not in UPDATE_PATTERNS:
+            raise ValueError(f"unknown update pattern {pattern!r}")
+        ops: List[Update] = []
+        while len(ops) < steps:
+            if pattern == "add":
+                ops.append(self.gen_add())
+            elif pattern == "copy":
+                ops.append(self.gen_copy())
+            elif pattern == "delete":
+                ops.append(self.gen_delete() or self.gen_add())
+            elif pattern == "ac-mix":
+                choice = self.rng.random()
+                ops.append(self.gen_add() if choice < 0.5 else self.gen_copy())
+            elif pattern == "mix":
+                choice = self.rng.random()
+                if choice < 1 / 3:
+                    ops.append(self.gen_add())
+                elif choice < 2 / 3:
+                    ops.append(self.gen_copy())
+                else:
+                    ops.append(self.gen_delete() or self.gen_add())
+            else:  # real: copy 1 subtree, add 3 nodes, delete 3 nodes
+                ops.append(self.gen_copy())
+                for _ in range(3):
+                    if len(ops) < steps:
+                        ops.append(self._add_under_last_copy())
+                for _ in range(3):
+                    if len(ops) < steps:
+                        ops.append(self.gen_delete() or self.gen_add())
+        return ops[:steps]
+
+    def _add_under_last_copy(self) -> Update:
+        """The real pattern inserts elements under the copied subtree root."""
+        if self._copied and self._alive(self._copied[-4 if len(self._copied) >= 4 else -1]):
+            # the most recent copy root is 4 entries back (root + 3 children)
+            root = None
+            for candidate in reversed(self._copied):
+                if len(candidate) == len(self.paste_area) + 1 and self._alive(candidate):
+                    root = candidate
+                    break
+            if root is not None:
+                label = self._fresh_label("n")
+                update = Insert(label, None, self._abs(root))
+                self.shadow.resolve(root).add_child(label, Tree.empty())
+                self._added.append(root.child(label))
+                return update
+        return self.gen_add()
+
+
+def generate_pattern(
+    pattern: str,
+    steps: int,
+    initial_target: Tree,
+    source_subtrees: Sequence[Path],
+    seed: int = 0,
+    deletion_policy: str = "del-random",
+    source_name: str = "S",
+    target_name: str = "T",
+) -> List[Update]:
+    """Generate one of the paper's update patterns as a concrete script.
+
+    For the ``real`` pattern the paper's deletes target the copied
+    subtree (``del-real``); the random patterns default to ``del-random``
+    unless a Table 3 policy is given.
+    """
+    if pattern == "real" and deletion_policy == "del-random":
+        deletion_policy = "del-real"
+    generator = PatternGenerator(
+        initial_target,
+        source_subtrees,
+        source_name=source_name,
+        target_name=target_name,
+        seed=seed,
+        deletion_policy=deletion_policy,
+    )
+    return generator.generate(pattern, steps)

@@ -1,0 +1,225 @@
+"""Drive a provenance-aware editor through an update pattern, measuring
+everything the paper's figures report.
+
+The standard setup mirrors Section 3: the target is the XML store
+(MiMI-on-Timber), the source is the relational engine (OrganelleDB-on-
+MySQL), and the provenance store is a relation in the relational engine,
+reached through round-trip-accounted calls.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..common.clock import CostModel, VirtualClock
+from ..core.editor import CurationEditor
+from ..core.provenance import ProvTable, ProvenanceStore
+from ..core.stores import make_store
+from ..core.updates import Copy, Delete, Insert, Update
+from ..storage.db import Database
+from ..wrappers.relational import RelationalSourceDB
+from ..wrappers.xml import XMLTargetDB
+from ..xmldb.store import XMLDatabase
+from .patterns import generate_pattern
+from .synth import mimi_like_tree, organelledb_like, source_subtree_paths
+
+__all__ = ["RunResult", "CurationSetup", "build_curation_setup", "run_pattern"]
+
+
+@dataclass
+class CurationSetup:
+    """Everything needed to run one experiment configuration."""
+
+    editor: CurationEditor
+    store: ProvenanceStore
+    table: ProvTable
+    clock: VirtualClock
+    source_db: Database
+    xml_db: XMLDatabase
+
+
+@dataclass
+class RunResult:
+    """Measurements from one (pattern, method) run.
+
+    ``avg_ms`` holds virtual-clock averages per category — the paper's
+    Figure 9 bars (``prov.add``, ``prov.delete``, ``prov.paste``,
+    ``prov.commit``, ``target.update``); ``op_counts`` the number of
+    operations per kind; storage is reported both in rows and bytes
+    (Figures 7, 8, 11).
+    """
+
+    method: str
+    pattern: str
+    steps: int
+    txn_length: Optional[int]
+    prov_rows: int
+    prov_bytes: int
+    target_nodes: int
+    avg_ms: Dict[str, float]
+    total_ms: Dict[str, float]
+    counts: Dict[str, int]
+    op_counts: Dict[str, int]
+    wall_seconds: float
+
+    def overhead_percent(self, op: str) -> float:
+        """Provenance overhead for one operation kind as a percentage of
+        the base dataset-interaction time (the paper's Figure 10)."""
+        base = self.avg_ms.get("target.update", 0.0)
+        if base == 0:
+            return 0.0
+        return 100.0 * self.avg_ms.get(f"prov.{op}", 0.0) / base
+
+    def amortized_ms_per_op(self) -> float:
+        """Average provenance time per update operation, commit time
+        amortized over all operations (Figure 12's 'amortized' series)."""
+        prov_total = sum(
+            ms for category, ms in self.total_ms.items() if category.startswith("prov.")
+        )
+        return prov_total / self.steps if self.steps else 0.0
+
+
+def build_curation_setup(
+    method: str,
+    n_proteins: int = 2000,
+    n_molecules: int = 500,
+    seed: int = 7,
+    cost_model: Optional[CostModel] = None,
+    use_indexes: bool = True,
+    first_tid: int = 1,
+    **store_kwargs,
+) -> CurationSetup:
+    """The paper's system configuration with synthetic data."""
+    clock = VirtualClock()
+    cost_model = cost_model if cost_model is not None else CostModel()
+    source_db = organelledb_like(n_proteins=n_proteins, seed=seed)
+    xml_db = XMLDatabase("mimi")
+    xml_db.load_tree(mimi_like_tree(n_molecules=n_molecules, seed=seed + 1))
+    prov_db = Database("provstore")
+    table = ProvTable(
+        db=prov_db, clock=clock, cost_model=cost_model, use_indexes=use_indexes
+    )
+    store = make_store(method, table, first_tid=first_tid, **store_kwargs)
+    editor = CurationEditor(
+        target=XMLTargetDB("T", xml_db),
+        sources=[RelationalSourceDB("S", source_db)],
+        store=store,
+    )
+    return CurationSetup(editor, store, table, clock, source_db, xml_db)
+
+
+def run_updates(
+    setup: CurationSetup,
+    updates: Sequence[Update],
+    txn_length: Optional[int] = 5,
+) -> RunResult:
+    """Replay an update script with periodic commits and collect results."""
+    op_counts = {"add": 0, "delete": 0, "copy": 0}
+    started = time.perf_counter()
+    pending = 0
+    for update in updates:
+        setup.editor.apply(update)
+        if isinstance(update, Insert):
+            op_counts["add"] += 1
+        elif isinstance(update, Delete):
+            op_counts["delete"] += 1
+        else:
+            op_counts["copy"] += 1
+        pending += 1
+        if txn_length is not None and pending >= txn_length:
+            setup.editor.commit()
+            pending = 0
+    if pending and txn_length is not None:
+        setup.editor.commit()
+    wall = time.perf_counter() - started
+
+    clock = setup.clock
+    categories = clock.categories()
+    # Averages are per *operation*, not per clock charge (one hierarchical
+    # insert, say, issues two charged round trips under prov.add).
+    per_op_divisors = {
+        "prov.add": op_counts["add"],
+        "prov.delete": op_counts["delete"],
+        "prov.paste": op_counts["copy"],
+        "target.update": len(updates),
+    }
+    avg_ms = {}
+    for category, total in categories.items():
+        divisor = per_op_divisors.get(category, clock.count(category))
+        avg_ms[category] = total / divisor if divisor else 0.0
+    return RunResult(
+        method=setup.store.method,
+        pattern="",
+        steps=len(updates),
+        txn_length=txn_length,
+        prov_rows=setup.table.row_count,
+        prov_bytes=setup.table.byte_size,
+        target_nodes=setup.xml_db.node_count(),
+        avg_ms=avg_ms,
+        total_ms=dict(categories),
+        counts={category: clock.count(category) for category in categories},
+        op_counts=op_counts,
+        wall_seconds=wall,
+    )
+
+
+def run_pattern(
+    method: str,
+    pattern: str,
+    steps: int,
+    txn_length: Optional[int] = 5,
+    seed: int = 7,
+    deletion_policy: str = "del-random",
+    n_proteins: int = 2000,
+    n_molecules: int = 500,
+    cost_model: Optional[CostModel] = None,
+    use_indexes: bool = True,
+    updates: Optional[Sequence[Update]] = None,
+    **store_kwargs,
+) -> RunResult:
+    """Run one (pattern, method) cell of the paper's experiment matrix.
+
+    Passing ``updates`` replays a pre-generated script (so several
+    methods see the identical operation sequence).
+    """
+    setup = build_curation_setup(
+        method,
+        n_proteins=n_proteins,
+        n_molecules=n_molecules,
+        seed=seed,
+        cost_model=cost_model,
+        use_indexes=use_indexes,
+        **store_kwargs,
+    )
+    if updates is None:
+        updates = generate_script(
+            pattern, steps, seed=seed, deletion_policy=deletion_policy,
+            n_proteins=n_proteins, n_molecules=n_molecules,
+        )
+    result = run_updates(setup, updates, txn_length=txn_length)
+    result.pattern = pattern
+    return result
+
+
+def generate_script(
+    pattern: str,
+    steps: int,
+    seed: int = 7,
+    deletion_policy: str = "del-random",
+    n_proteins: int = 2000,
+    n_molecules: int = 500,
+) -> List[Update]:
+    """Generate the update script for a pattern against the synthetic
+    databases (deterministic in ``seed``)."""
+    source_db = organelledb_like(n_proteins=n_proteins, seed=seed)
+    initial = mimi_like_tree(n_molecules=n_molecules, seed=seed + 1)
+    return generate_pattern(
+        pattern,
+        steps,
+        initial,
+        source_subtree_paths(source_db),
+        seed=seed + 2,
+        deletion_policy=deletion_policy,
+    )

@@ -1,0 +1,132 @@
+"""Seeded synthetic stand-ins for the paper's datasets.
+
+* :func:`organelledb_like` — the source database: a relational protein
+  localization catalog.  Each protein row exposes exactly three fields,
+  so its tree view ``protein/<id>`` is a subtree of size four (a parent
+  with three children) — the paper's unit of copying.
+* :func:`mimi_like_tree` — the target database: a hierarchical protein
+  interaction dataset (molecules with attributes and nested interaction
+  lists) to pre-populate the XML store.
+
+Both generators are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core.paths import Path
+from ..core.tree import Tree
+from ..storage.db import Database
+from ..storage.schema import Column, TableSchema
+from ..storage.types import ColumnType
+from ..xmldb.keys import key_label
+
+__all__ = ["organelledb_like", "mimi_like_tree", "source_subtree_paths"]
+
+_ORGANISMS = (
+    "S.cerevisiae", "H.sapiens", "M.musculus", "D.melanogaster",
+    "C.elegans", "A.thaliana", "R.norvegicus", "D.rerio",
+)
+_LOCALIZATIONS = (
+    "nucleus", "cytoplasm", "mitochondrion", "membrane",
+    "endoplasmic reticulum", "golgi", "peroxisome", "vacuole",
+)
+_NAME_SYLLABLES = ("abc", "crp", "tor", "ras", "myc", "src", "kin", "pol", "rad", "cdc")
+
+
+def _protein_name(rng: random.Random) -> str:
+    return (
+        rng.choice(_NAME_SYLLABLES).upper()
+        + rng.choice(_NAME_SYLLABLES).capitalize()
+        + str(rng.randint(1, 99))
+    )
+
+
+def organelledb_like(
+    n_proteins: int = 2000, seed: int = 7, name: str = "organelledb"
+) -> Database:
+    """A relational protein-localization source database.
+
+    Schema: ``protein(id TEXT PRIMARY KEY, name, organism, localization)``
+    — three non-key fields, so each row's tree view is a size-4 subtree.
+    """
+    rng = random.Random(seed)
+    db = Database(name)
+    db.create_table(
+        TableSchema(
+            "protein",
+            [
+                Column("id", ColumnType.TEXT, nullable=False),
+                Column("name", ColumnType.TEXT, nullable=False),
+                Column("organism", ColumnType.TEXT, nullable=False),
+                Column("localization", ColumnType.TEXT, nullable=False),
+            ],
+            primary_key=("id",),
+        )
+    )
+    rows = []
+    for index in range(n_proteins):
+        rows.append(
+            (
+                f"O{index:05d}",
+                _protein_name(rng),
+                rng.choice(_ORGANISMS),
+                rng.choice(_LOCALIZATIONS),
+            )
+        )
+    db.insert_many("protein", rows)
+    return db
+
+
+def source_subtree_paths(db: Database, table: str = "protein") -> List[Path]:
+    """The copyable size-4 subtree roots of a source database's tree view
+    (``table/<key>`` for every row), in insertion order."""
+    schema = db.table(table).schema
+    return [
+        Path([table, "|".join(str(part) for part in schema.key_of(row))])
+        for _rowid, row in db.table(table).scan()
+    ]
+
+
+def mimi_like_tree(n_molecules: int = 500, seed: int = 11) -> Tree:
+    """A hierarchical protein-interaction target dataset.
+
+    Shape (per molecule, keyed by accession)::
+
+        molecule{M00042}/
+            name: "TORKin7"
+            organism: "H.sapiens"
+            ptm: "phosphorylation"
+            interactions/
+                interaction{1}/ partner: "M00017"  evidence: "Y2H"
+                ...
+    """
+    rng = random.Random(seed)
+    root = Tree.empty()
+    molecules = Tree.empty()
+    for index in range(n_molecules):
+        accession = f"M{index:05d}"
+        molecule = Tree.empty()
+        molecule.add_child("name", Tree.leaf(_protein_name(rng)))
+        molecule.add_child("organism", Tree.leaf(rng.choice(_ORGANISMS)))
+        if rng.random() < 0.5:
+            molecule.add_child(
+                "ptm",
+                Tree.leaf(rng.choice(("phosphorylation", "acetylation", "ubiquitination"))),
+            )
+        interactions = Tree.empty()
+        for number in range(1, rng.randint(1, 4) + 1):
+            interaction = Tree.empty()
+            partner = f"M{rng.randrange(max(n_molecules, 1)):05d}"
+            interaction.add_child("partner", Tree.leaf(partner))
+            interaction.add_child(
+                "evidence", Tree.leaf(rng.choice(("Y2H", "coIP", "literature")))
+            )
+            interactions.add_child(key_label("interaction", number), interaction)
+        molecule.add_child("interactions", interactions)
+        molecules.add_child(key_label("molecule", accession), molecule)
+    root.add_child("molecules", molecules)
+    root.add_child("imports", Tree.empty())  # curation workspace area
+    return root

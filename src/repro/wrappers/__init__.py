@@ -1,0 +1,22 @@
+"""Database wrappers: the Figure 6 contracts mapping heterogeneous
+databases (in-memory trees, relational, XML, filesystem) to keyed tree
+views that the provenance-aware editor can browse and update."""
+
+from .base import SourceDB, TargetDB, WrapperError
+from .memory import MemorySourceDB, MemoryTargetDB
+from .relational import RelationalSourceDB
+from .filesystem import FileSystemSourceDB, FileSystemTargetDB
+from .xml import XMLSourceDB, XMLTargetDB
+
+__all__ = [
+    "SourceDB",
+    "TargetDB",
+    "WrapperError",
+    "MemorySourceDB",
+    "MemoryTargetDB",
+    "RelationalSourceDB",
+    "FileSystemSourceDB",
+    "FileSystemTargetDB",
+    "XMLSourceDB",
+    "XMLTargetDB",
+]

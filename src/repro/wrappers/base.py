@@ -1,0 +1,87 @@
+"""The wrapper contracts of Figure 6.
+
+Every participating database is wrapped as a "fully-keyed" tree view:
+paths of edge labels address at most one data element.  Source databases
+need only be browsable and copyable; the target database must also
+translate tree updates into its native update operations.
+
+The underlying database need not store trees — the relational wrapper
+maps tables to ``R/tid/F`` paths, the filesystem wrapper maps directories
+and files — and need not expose all of its data (the wrapper decides what
+is visible, Section 3.1).
+
+All wrapper paths are *relative to the wrapped database's root*; the
+editor composes absolute locations by prefixing the database name.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..core.paths import Path
+from ..core.tree import Tree, Value
+
+__all__ = ["SourceDB", "TargetDB", "WrapperError"]
+
+
+class WrapperError(Exception):
+    """Raised when a wrapper operation fails (bad path, read-only, ...)."""
+
+
+class SourceDB(abc.ABC):
+    """A browsable, copyable database (the paper's ``SourceDB``).
+
+    ``tree_from_db`` corresponds to the paper's ``treeFromDB()``:
+    return a keyed tree view of (the exposed part of) the data.
+    ``copy_node`` corresponds to ``copyNode()``: return the selected
+    subtree — a single node for a leaf, otherwise every node under the
+    selection, each addressable by its path.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise WrapperError("a wrapped database needs a nonempty name")
+        self.name = name
+
+    @abc.abstractmethod
+    def tree_from_db(self) -> Tree:
+        """A keyed tree view of the database (fresh copy; safe to hold)."""
+
+    def copy_node(self, path: "Path | str") -> Tree:
+        """Deep copy of the subtree at ``path`` (the user's clipboard)."""
+        path = Path.of(path)
+        tree = self.tree_from_db()
+        if not tree.contains_path(path):
+            raise WrapperError(f"{self.name}: no node at {path}")
+        return tree.resolve(path).deep_copy()
+
+    def contains(self, path: "Path | str") -> bool:
+        return self.tree_from_db().contains_path(Path.of(path))
+
+
+class TargetDB(SourceDB):
+    """A database the editor may update (the paper's ``TargetDB``).
+
+    The three update methods mirror Figure 6: ``add_node`` inserts a new
+    node, ``delete_node`` removes one, ``paste_node`` installs a copied
+    subtree as/at the given location (replacing any existing content —
+    see the note on copy semantics in :mod:`repro.core.updates`).  Each
+    implementation translates the tree update to the database's native
+    format.
+    """
+
+    @abc.abstractmethod
+    def add_node(self, path: "Path | str", name: str, value: Value = None) -> None:
+        """Insert a new node labeled ``name`` (empty, or a leaf holding
+        ``value``) under the node at ``path``."""
+
+    @abc.abstractmethod
+    def delete_node(self, path: "Path | str") -> Tree:
+        """Delete the node at ``path``; returns the removed subtree (the
+        provenance layer needs it to expand delete records)."""
+
+    @abc.abstractmethod
+    def paste_node(self, path: "Path | str", subtree: Tree) -> Optional[Tree]:
+        """Install ``subtree`` at ``path`` (parent must exist), replacing
+        any existing content; returns the overwritten subtree or ``None``."""

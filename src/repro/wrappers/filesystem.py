@@ -1,0 +1,124 @@
+"""Filesystem wrapper: view a directory tree as a database.
+
+"Source and target databases can ... consist of files stored in
+filesystems or Web sites" (Section 1.3).  Directories become interior
+nodes, files become leaves holding their text content.  The target
+variant translates tree updates back to filesystem operations, making a
+plain directory a fully functional curated database with provenance.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Optional
+
+from ..core.paths import Path
+from ..core.tree import Tree, Value
+from .base import SourceDB, TargetDB, WrapperError
+
+__all__ = ["FileSystemSourceDB", "FileSystemTargetDB"]
+
+_MAX_FILE_BYTES = 1 << 20  # refuse to slurp silly files into leaves
+
+
+def _tree_from_dir(directory: str) -> Tree:
+    node = Tree.empty()
+    for entry in sorted(os.listdir(directory)):
+        full = os.path.join(directory, entry)
+        if os.path.isdir(full):
+            node.add_child(entry, _tree_from_dir(full))
+        else:
+            size = os.path.getsize(full)
+            if size > _MAX_FILE_BYTES:
+                raise WrapperError(f"file too large for a leaf value: {full}")
+            with open(full, "r", encoding="utf-8") as handle:
+                node.add_child(entry, Tree.leaf(handle.read()))
+    return node
+
+
+def _write_tree(directory: str, tree: Tree) -> None:
+    os.makedirs(directory, exist_ok=True)
+    for label, child in tree.children.items():
+        full = os.path.join(directory, label)
+        if child.is_leaf_value:
+            with open(full, "w", encoding="utf-8") as handle:
+                handle.write(str(child.value))
+        else:
+            _write_tree(full, child)
+
+
+class FileSystemSourceDB(SourceDB):
+    """A read-only directory tree presented as a source database."""
+
+    def __init__(self, name: str, root_dir: str) -> None:
+        super().__init__(name)
+        if not os.path.isdir(root_dir):
+            raise WrapperError(f"{name}: {root_dir!r} is not a directory")
+        self.root_dir = root_dir
+
+    def tree_from_db(self) -> Tree:
+        return _tree_from_dir(self.root_dir)
+
+
+class FileSystemTargetDB(FileSystemSourceDB, TargetDB):
+    """A writable directory tree presented as a target database."""
+
+    def _full_path(self, path: "Path | str") -> str:
+        path = Path.of(path)
+        for label in path:
+            if label in (".", "..") or os.sep in label:
+                raise WrapperError(f"{self.name}: unsafe path label {label!r}")
+        return os.path.join(self.root_dir, *path.labels)
+
+    def add_node(self, path: "Path | str", name: str, value: Value = None) -> None:
+        parent = self._full_path(path)
+        if not os.path.isdir(parent):
+            raise WrapperError(f"{self.name}: no directory at {path}")
+        full = os.path.join(parent, name)
+        if os.path.exists(full):
+            raise WrapperError(f"{self.name}: {Path.of(path).child(name)} already exists")
+        if value is None:
+            os.makedirs(full)
+        else:
+            with open(full, "w", encoding="utf-8") as handle:
+                handle.write(str(value))
+
+    def delete_node(self, path: "Path | str") -> Tree:
+        path = Path.of(path)
+        if path.is_root:
+            raise WrapperError(f"{self.name}: cannot delete the root")
+        full = self._full_path(path)
+        if os.path.isdir(full):
+            removed = _tree_from_dir(full)
+            shutil.rmtree(full)
+            return removed
+        if os.path.isfile(full):
+            with open(full, "r", encoding="utf-8") as handle:
+                removed = Tree.leaf(handle.read())
+            os.remove(full)
+            return removed
+        raise WrapperError(f"{self.name}: no node at {path}")
+
+    def paste_node(self, path: "Path | str", subtree: Tree) -> Optional[Tree]:
+        path = Path.of(path)
+        if path.is_root:
+            raise WrapperError(f"{self.name}: cannot paste over the root")
+        parent = self._full_path(path.parent)
+        if not os.path.isdir(parent):
+            raise WrapperError(f"{self.name}: paste parent missing: {path.parent}")
+        full = self._full_path(path)
+        overwritten: Optional[Tree] = None
+        if os.path.isdir(full):
+            overwritten = _tree_from_dir(full)
+            shutil.rmtree(full)
+        elif os.path.isfile(full):
+            with open(full, "r", encoding="utf-8") as handle:
+                overwritten = Tree.leaf(handle.read())
+            os.remove(full)
+        if subtree.is_leaf_value:
+            with open(full, "w", encoding="utf-8") as handle:
+                handle.write(str(subtree.value))
+        else:
+            _write_tree(full, subtree)
+        return overwritten

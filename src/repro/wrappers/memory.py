@@ -1,0 +1,74 @@
+"""Wrappers over plain in-memory trees.
+
+These are the simplest wrapper implementations — the tree *is* the
+database — used by unit tests and by the worked examples that replay the
+paper's Figures 3-5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.paths import Path
+from ..core.tree import Tree, TreeError, Value
+from .base import SourceDB, TargetDB, WrapperError
+
+__all__ = ["MemorySourceDB", "MemoryTargetDB"]
+
+
+class MemorySourceDB(SourceDB):
+    """A read-only tree presented as a source database."""
+
+    def __init__(self, name: str, tree: Tree) -> None:
+        super().__init__(name)
+        self._tree = tree
+
+    def tree_from_db(self) -> Tree:
+        return self._tree.deep_copy()
+
+    # Fast paths avoiding the deep copy in the base class.
+    def copy_node(self, path: "Path | str") -> Tree:
+        path = Path.of(path)
+        if not self._tree.contains_path(path):
+            raise WrapperError(f"{self.name}: no node at {path}")
+        return self._tree.resolve(path).deep_copy()
+
+    def contains(self, path: "Path | str") -> bool:
+        return self._tree.contains_path(Path.of(path))
+
+
+class MemoryTargetDB(MemorySourceDB, TargetDB):
+    """A mutable tree presented as a target database."""
+
+    def add_node(self, path: "Path | str", name: str, value: Value = None) -> None:
+        path = Path.of(path)
+        try:
+            parent = self._tree.resolve(path)
+            child = Tree.empty() if value is None else Tree.leaf(value)
+            parent.add_child(name, child)
+        except TreeError as exc:
+            raise WrapperError(f"{self.name}: add_node failed: {exc}") from exc
+
+    def delete_node(self, path: "Path | str") -> Tree:
+        path = Path.of(path)
+        if path.is_root:
+            raise WrapperError(f"{self.name}: cannot delete the root")
+        try:
+            parent = self._tree.resolve(path.parent)
+            return parent.remove_child(path.last)
+        except TreeError as exc:
+            raise WrapperError(f"{self.name}: delete_node failed: {exc}") from exc
+
+    def paste_node(self, path: "Path | str", subtree: Tree) -> Optional[Tree]:
+        path = Path.of(path)
+        if path.is_root:
+            raise WrapperError(f"{self.name}: cannot paste over the root")
+        try:
+            parent = self._tree.resolve(path.parent)
+        except TreeError as exc:
+            raise WrapperError(f"{self.name}: paste parent missing: {exc}") from exc
+        if parent.is_leaf_value:
+            raise WrapperError(f"{self.name}: paste parent is a leaf value")
+        overwritten = parent.children.get(path.last)
+        parent.children[path.last] = subtree.deep_copy()
+        return overwritten

@@ -1,0 +1,130 @@
+"""Relational wrapper: view an embedded relational database as a tree.
+
+The paper (Section 2): "the data values in a relational database can be
+addressed using four-level paths where ``DB/R/tid/F`` addresses the field
+value F in the tuple with identifier or key tid in table R of database
+DB".  The wrapper implements exactly that mapping for
+:class:`repro.storage.Database`:
+
+* level 1 (inside the wrapper): table name;
+* level 2: primary-key rendering of the tuple (components joined with
+  ``|`` for composite keys);
+* level 3: column name, a leaf holding the field value.
+
+Only tables listed in ``exposed`` (default: all) are visible — wrappers
+need not expose everything (Section 3.1).  The wrapper is read-only: in
+the paper's experiments the relational database (OrganelleDB) is a
+*source*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.tree import Tree
+from ..storage.db import Database
+from .base import SourceDB, WrapperError
+
+__all__ = ["RelationalSourceDB", "render_key"]
+
+
+def render_key(key: Sequence) -> str:
+    """Render a primary-key tuple as a single path label."""
+    return "|".join(str(part) for part in key)
+
+
+def _row_tree(schema, row) -> "Tree":
+    """The tree view of one row: non-key columns as leaf children (the
+    primary key already appears as the row's edge label; NULLs are simply
+    absent edges)."""
+    node = Tree.empty()
+    pk = set(schema.primary_key)
+    for column, value in zip(schema.columns, row):
+        if value is None or column.name in pk:
+            continue
+        node.add_child(column.name, Tree.leaf(value))
+    return node
+
+
+def _parse_key(schema, key_parts: Sequence[str]):
+    """Parse key labels back to typed primary-key values."""
+    from ..storage.types import ColumnType
+
+    if len(key_parts) != len(schema.primary_key):
+        raise WrapperError(
+            f"key {key_parts!r} does not match primary key {schema.primary_key}"
+        )
+    typed = []
+    for column_name, part in zip(schema.primary_key, key_parts):
+        column = schema.column(column_name)
+        if column.type is ColumnType.INT:
+            typed.append(int(part))
+        elif column.type is ColumnType.REAL:
+            typed.append(float(part))
+        else:
+            typed.append(part)
+    return tuple(typed)
+
+
+class RelationalSourceDB(SourceDB):
+    """A read-only tree view of a relational database."""
+
+    def __init__(
+        self,
+        name: str,
+        db: Database,
+        exposed: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.db = db
+        self.exposed = tuple(exposed) if exposed is not None else None
+
+    def _visible_tables(self) -> Sequence[str]:
+        if self.exposed is not None:
+            return self.exposed
+        return sorted(self.db.tables)
+
+    def tree_from_db(self) -> Tree:
+        root = Tree.empty()
+        for table_name in self._visible_tables():
+            table = self.db.table(table_name)
+            schema = table.schema
+            if not schema.primary_key:
+                raise WrapperError(
+                    f"{self.name}: table {table_name!r} has no primary key; "
+                    "a fully-keyed view requires one"
+                )
+            table_node = Tree.empty()
+            for _rowid, row in table.scan():
+                table_node.add_child(render_key(schema.key_of(row)), _row_tree(schema, row))
+            root.add_child(table_name, table_node)
+        return root
+
+    def copy_node(self, path: "Path | str") -> Tree:
+        """Targeted fetch: resolve ``table/key[/field]`` paths against the
+        table's primary-key index instead of materializing the full view
+        (what a real wrapper's copyNode() would do)."""
+        from ..core.paths import Path as _Path
+
+        path = _Path.of(path)
+        if path.is_root or len(path) > 3:
+            return super().copy_node(path)
+        table_name = path.head
+        if table_name not in self._visible_tables():
+            raise WrapperError(f"{self.name}: no table {table_name!r} exposed")
+        table = self.db.table(table_name)
+        schema = table.schema
+        if len(path) == 1:
+            return super().copy_node(path)  # whole-table copies stay generic
+        key_parts = path[1].split("|")
+        key = _parse_key(schema, key_parts)
+        found = table.lookup_pk(key)
+        if found is None:
+            raise WrapperError(f"{self.name}: no node at {path}")
+        row_tree = _row_tree(schema, found[1])
+        if len(path) == 2:
+            return row_tree
+        field = path[2]
+        if not row_tree.has_child(field):
+            raise WrapperError(f"{self.name}: no node at {path}")
+        return row_tree.child(field)

@@ -1,0 +1,59 @@
+"""Wrapper presenting an :class:`~repro.xmldb.XMLDatabase` as source/target.
+
+This is the MiMI-on-Timber configuration of the paper's experiments: the
+curated target database lives in the native XML store, and the editor's
+tree updates are translated one-for-one to node-store updates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.paths import Path
+from ..core.tree import Tree, Value
+from ..xmldb.store import XMLDatabase, XMLDBError
+from .base import SourceDB, TargetDB, WrapperError
+
+__all__ = ["XMLSourceDB", "XMLTargetDB"]
+
+
+class XMLSourceDB(SourceDB):
+    """Read-only view of an XML database."""
+
+    def __init__(self, name: str, db: XMLDatabase) -> None:
+        super().__init__(name)
+        self.db = db
+
+    def tree_from_db(self) -> Tree:
+        return self.db.subtree(Path())
+
+    def copy_node(self, path: "Path | str") -> Tree:
+        try:
+            return self.db.subtree(path)
+        except XMLDBError as exc:
+            raise WrapperError(str(exc)) from exc
+
+    def contains(self, path: "Path | str") -> bool:
+        return self.db.contains(path)
+
+
+class XMLTargetDB(XMLSourceDB, TargetDB):
+    """Writable view of an XML database (the paper's target setup)."""
+
+    def add_node(self, path: "Path | str", name: str, value: Value = None) -> None:
+        try:
+            self.db.add_node(path, name, value)
+        except XMLDBError as exc:
+            raise WrapperError(str(exc)) from exc
+
+    def delete_node(self, path: "Path | str") -> Tree:
+        try:
+            return self.db.delete_node(path)
+        except XMLDBError as exc:
+            raise WrapperError(str(exc)) from exc
+
+    def paste_node(self, path: "Path | str", subtree: Tree) -> Optional[Tree]:
+        try:
+            return self.db.paste_node(path, subtree)
+        except XMLDBError as exc:
+            raise WrapperError(str(exc)) from exc

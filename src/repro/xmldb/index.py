@@ -1,0 +1,109 @@
+"""Element-label index for the XML store.
+
+Native XML databases (Timber among them) keep element indexes so that
+descendant queries (``//interaction``) need not walk the whole tree.
+:class:`ElementIndex` maintains label → node-id sets incrementally as an
+observer of an :class:`~repro.xmldb.store.XMLDatabase`, and
+:func:`evaluate_indexed` runs the XPath subset against the store using
+the index for descendant steps.
+
+Keyed edge labels (``interaction{3}``) index under their *base* label
+(``interaction``), so ``//interaction`` finds every keyed instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.paths import Path
+from .store import NodeId, XMLDatabase
+from .xpath import XPath, base_label
+
+__all__ = ["ElementIndex", "evaluate_indexed", "base_label"]
+
+
+class ElementIndex:
+    """label -> node ids, kept in sync with the store via its hooks."""
+
+    def __init__(self, db: XMLDatabase) -> None:
+        self.db = db
+        self._by_label: Dict[str, Set[NodeId]] = {}
+        self._rebuild()
+        db.add_observer(self)
+
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        self._by_label.clear()
+        for path, _value in self.db.iter_paths():
+            if path.is_root:
+                continue
+            node_id = self.db.resolve(path)
+            self._by_label.setdefault(base_label(path.last), set()).add(node_id)
+
+    # observer hooks ----------------------------------------------------
+    def node_added(self, node_id: NodeId, label: str) -> None:
+        self._by_label.setdefault(base_label(label), set()).add(node_id)
+
+    def node_removed(self, node_id: NodeId, label: str) -> None:
+        bucket = self._by_label.get(base_label(label))
+        if bucket is not None:
+            bucket.discard(node_id)
+            if not bucket:
+                del self._by_label[base_label(label)]
+
+    # ------------------------------------------------------------------
+    def lookup(self, label: str) -> Set[NodeId]:
+        """Node ids whose (base) edge label is ``label``."""
+        return set(self._by_label.get(label, ()))
+
+    def labels(self) -> List[str]:
+        return sorted(self._by_label)
+
+    def count(self, label: str) -> int:
+        return len(self._by_label.get(label, ()))
+
+
+def evaluate_indexed(
+    db: XMLDatabase, index: ElementIndex, expression: str
+) -> List[Path]:
+    """Evaluate an XPath-subset expression against the store.
+
+    Descendant steps (``//label``) resolve through the element index —
+    candidate node ids come straight from the index, then each
+    candidate's unique path is matched against the full expression.
+    Expressions without a concrete descendant label fall back to the
+    generic tree evaluation."""
+    xpath = XPath(expression)
+    anchor: Optional[str] = None
+    for step in xpath.steps:
+        if step.descendant and step.label is not None:
+            anchor = step.label
+            break
+    if anchor is None:
+        return xpath.evaluate(db.subtree(Path()))
+
+    results: Set[Path] = set()
+    tree = None
+    for node_id in index.lookup(anchor):
+        path = db.path_of(node_id)
+        # candidate paths that structurally match contribute; predicates
+        # still need node content, so check against the exported subtree
+        if not xpath.matches(path):
+            # the anchor may be an inner step; try every extension of the
+            # candidate path by evaluating below it only when the prefix
+            # could still match (cheap reject)
+            continue
+        if any(step.predicate is not None for step in xpath.steps):
+            if tree is None:
+                tree = db.subtree(Path())
+            if path not in set(xpath.evaluate(tree)):
+                continue
+        results.add(path)
+    # anchored evaluation misses matches where the anchor step is not the
+    # final step; fall back for those shapes
+    if xpath.steps and (xpath.steps[-1].descendant is False or xpath.steps[-1].label != anchor):
+        last = xpath.steps[-1]
+        if last.label != anchor:
+            tree = tree if tree is not None else db.subtree(Path())
+            results.update(xpath.evaluate(tree))
+    return sorted(results, key=Path.sort_key)

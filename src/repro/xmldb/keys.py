@@ -1,0 +1,141 @@
+"""Fully-keyed XML views ("Keys for XML", Buneman et al. 2002).
+
+Raw XML identifies repeated elements by position, which is fragile under
+updates; the paper instead assumes a *keyed* view in which a sequence of
+edge labels identifies at most one node.  A :class:`KeySpec` declares,
+for elements with a given label at a given depth pattern, which
+attribute or child element provides the key; :func:`keyed_view` rewrites
+an element tree into a keyed :class:`~repro.core.tree.Tree`:
+
+* a keyed element ``<protein id="P1">`` becomes the edge
+  ``protein{P1}``;
+* an *unkeyed* repeated element falls back to a positional key
+  ``label{3}`` (the paper's ``Citation{3}/Title`` example);
+* attributes become leaf children prefixed with ``@``;
+* text content of a leaf element becomes its value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.etree import ElementTree
+
+from ..core.paths import Path
+from ..core.tree import Tree
+
+__all__ = ["KeySpec", "keyed_view", "key_label"]
+
+
+@dataclass(frozen=True)
+class KeySpec:
+    """Key declaration for elements labeled ``element``.
+
+    ``field`` names the key source: ``"@attr"`` for an attribute,
+    anything else for a child element whose text provides the key.
+    ``path_prefix`` optionally restricts the spec to elements whose
+    parent path matches (a plain label-sequence prefix).
+    """
+
+    element: str
+    field: str
+    path_prefix: Optional[Tuple[str, ...]] = None
+
+    def applies_at(self, element: str, parents: Sequence[str]) -> bool:
+        if element != self.element:
+            return False
+        if self.path_prefix is None:
+            return True
+        n = len(self.path_prefix)
+        return tuple(parents[-n:]) == self.path_prefix if n <= len(parents) else False
+
+    def key_of(self, node: ElementTree.Element) -> Optional[str]:
+        if self.field.startswith("@"):
+            return node.attrib.get(self.field[1:])
+        child = node.find(self.field)
+        if child is not None and child.text:
+            return child.text.strip()
+        return None
+
+
+def key_label(label: str, key: "str | int") -> str:
+    """Render a keyed edge label, e.g. ``protein{P1}`` or ``Citation{3}``."""
+    return f"{label}{{{key}}}"
+
+
+def _convert(
+    node: ElementTree.Element,
+    specs: Sequence[KeySpec],
+    parents: List[str],
+) -> Tree:
+    children = list(node)
+    text = (node.text or "").strip()
+    if not children and not node.attrib:
+        return Tree.leaf(_coerce(text)) if text else Tree.empty()
+
+    out = Tree.empty()
+    for attr, value in sorted(node.attrib.items()):
+        out.add_child(f"@{attr}", Tree.leaf(_coerce(value)))
+    if text:
+        out.add_child("#text", Tree.leaf(_coerce(text)))
+
+    # Group repeated child labels so positional fallback keys are stable.
+    label_counts: Dict[str, int] = {}
+    for child in children:
+        label_counts[child.tag] = label_counts.get(child.tag, 0) + 1
+    positions: Dict[str, int] = {}
+    parents.append(node.tag)
+    try:
+        for child in children:
+            label = child.tag
+            key: Optional[str] = None
+            for spec in specs:
+                if spec.applies_at(label, parents):
+                    key = spec.key_of(child)
+                    break
+            if key is not None:
+                edge = key_label(label, key)
+            elif label_counts[label] > 1:
+                positions[label] = positions.get(label, 0) + 1
+                edge = key_label(label, positions[label])
+            else:
+                edge = label
+            out.add_child(edge, _convert(child, specs, parents))
+    finally:
+        parents.pop()
+    return out
+
+
+def _coerce(text: str):
+    """Interpret numeric-looking text as numbers (field values in
+    scientific databases are frequently numeric)."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def keyed_view(xml_text: str, specs: Sequence[KeySpec] = ()) -> Tree:
+    """Parse XML text and return its fully-keyed tree view.
+
+    >>> tree = keyed_view(
+    ...     '<db><protein id="P1"><name>ABC1</name></protein></db>',
+    ...     [KeySpec("protein", "@id")],
+    ... )
+    >>> tree.resolve("protein{P1}/name").value
+    'ABC1'
+    """
+    root = ElementTree.fromstring(xml_text)
+    wrapper = Tree.empty()
+    converted = _convert(root, list(specs), [])
+    # the root element itself is the database root; its children hang
+    # directly off the view root
+    for label, child in converted.children.items():
+        wrapper.children[label] = child
+    if converted.is_leaf_value:
+        wrapper.set_value(converted.value)
+    return wrapper

@@ -1,0 +1,75 @@
+"""Round-trip between keyed trees and an XML text form.
+
+``tree_to_xml`` renders a keyed tree back to XML (keyed edges
+``label{key}`` become elements with a ``key`` attribute; ``@attr`` leaves
+become attributes), used for export and size reporting.  ``tree_from_xml``
+is a convenience over :func:`repro.xmldb.keys.keyed_view`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+from xml.sax.saxutils import escape, quoteattr
+
+from ..core.tree import Tree
+from .keys import KeySpec, keyed_view
+
+__all__ = ["tree_from_xml", "tree_to_xml"]
+
+_KEYED_RE = re.compile(r"^(?P<label>.+)\{(?P<key>[^{}]*)\}$")
+
+
+def tree_from_xml(xml_text: str, specs: Sequence[KeySpec] = ()) -> Tree:
+    """Parse XML text into its fully-keyed tree view."""
+    return keyed_view(xml_text, specs)
+
+
+def tree_to_xml(tree: Tree, root_tag: str = "db", indent: int = 0) -> str:
+    """Render a keyed tree as XML text."""
+    lines: List[str] = []
+    _render(tree, root_tag, indent, lines)
+    return "\n".join(lines)
+
+
+def _render(tree: Tree, tag: str, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    match = _KEYED_RE.match(tag)
+    attrs = ""
+    if match:
+        tag = match.group("label")
+        attrs = f" key={quoteattr(match.group('key'))}"
+    if not tag.isidentifier():
+        tag = "node"
+
+    attr_children = {
+        label: child
+        for label, child in tree.children.items()
+        if label.startswith("@") and child.is_leaf_value
+    }
+    for label, child in sorted(attr_children.items()):
+        attrs += f" {label[1:]}={quoteattr(str(child.value))}"
+
+    plain_children = [
+        (label, child)
+        for label, child in sorted(tree.children.items())
+        if label not in attr_children and label != "#text"
+    ]
+    text = None
+    if tree.is_leaf_value:
+        text = str(tree.value)
+    elif tree.has_child("#text"):
+        text = str(tree.child("#text").value)
+
+    if not plain_children and text is None:
+        lines.append(f"{pad}<{tag}{attrs}/>")
+        return
+    if not plain_children:
+        lines.append(f"{pad}<{tag}{attrs}>{escape(text)}</{tag}>")
+        return
+    lines.append(f"{pad}<{tag}{attrs}>")
+    if text is not None:
+        lines.append(f"{pad}  {escape(text)}")
+    for label, child in plain_children:
+        _render(child, label, depth + 1, lines)
+    lines.append(f"{pad}</{tag}>")

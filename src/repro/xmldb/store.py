@@ -1,0 +1,241 @@
+"""The node store at the heart of the XML database.
+
+Unlike the plain :class:`~repro.core.tree.Tree` (a transient value), the
+store keeps every node in a flat table keyed by a stable
+:class:`NodeId`, with parent pointers and per-parent keyed child maps —
+the shape of a native XML database's node storage.  Updates allocate and
+free node ids; byte accounting mirrors a simple on-disk node record
+layout (id, parent id, label, optional value).
+
+The store's public update API (``add_node`` / ``delete_node`` /
+``paste_node``) is intentionally the Figure 6 target-database contract,
+so wrapping it for the editor is trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.paths import Path
+from ..core.tree import Tree, Value, value_size
+
+__all__ = ["NodeId", "XMLDatabase", "XMLDBError"]
+
+NodeId = int
+
+
+class XMLDBError(Exception):
+    """Raised for invalid node-store operations."""
+
+
+class _Node:
+    __slots__ = ("node_id", "parent", "label", "value", "children")
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        parent: Optional[NodeId],
+        label: str,
+        value: Value = None,
+    ) -> None:
+        self.node_id = node_id
+        self.parent = parent
+        self.label = label
+        self.value = value
+        self.children: Dict[str, NodeId] = {}
+
+    def record_bytes(self) -> int:
+        # id (8) + parent (8) + label length header (2) + label + value
+        return 18 + len(self.label.encode("utf-8")) + value_size(self.value)
+
+
+class XMLDatabase:
+    """A keyed node store with stable node identifiers."""
+
+    ROOT_ID: NodeId = 0
+
+    def __init__(self, name: str = "xmldb") -> None:
+        self.name = name
+        self._nodes: Dict[NodeId, _Node] = {
+            self.ROOT_ID: _Node(self.ROOT_ID, None, "")
+        }
+        self._next_id: NodeId = 1
+        self._byte_size = self._nodes[self.ROOT_ID].record_bytes()
+        self._observers: List[object] = []
+
+    # ------------------------------------------------------------------
+    # Observers (secondary indexes subscribe to node churn)
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: object) -> None:
+        """Register an observer with ``node_added(id, label)`` /
+        ``node_removed(id, label)`` hooks (e.g. an element index)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: object) -> None:
+        self._observers.remove(observer)
+
+    def _notify_added(self, node_id: NodeId, label: str) -> None:
+        for observer in self._observers:
+            observer.node_added(node_id, label)
+
+    def _notify_removed(self, node_id: NodeId, label: str) -> None:
+        for observer in self._observers:
+            observer.node_removed(node_id, label)
+
+    # ------------------------------------------------------------------
+    # Node addressing
+    # ------------------------------------------------------------------
+    def resolve(self, path: "Path | str") -> NodeId:
+        """The node id at ``path``; raises if absent."""
+        node_id = self.lookup(path)
+        if node_id is None:
+            raise XMLDBError(f"{self.name}: no node at {Path.of(path)}")
+        return node_id
+
+    def lookup(self, path: "Path | str") -> Optional[NodeId]:
+        node = self._nodes[self.ROOT_ID]
+        for label in Path.of(path):
+            child_id = node.children.get(label)
+            if child_id is None:
+                return None
+            node = self._nodes[child_id]
+        return node.node_id
+
+    def path_of(self, node_id: NodeId) -> Path:
+        """The (unique) path addressing a node."""
+        labels: List[str] = []
+        node = self._node(node_id)
+        while node.parent is not None:
+            labels.append(node.label)
+            node = self._nodes[node.parent]
+        return Path(reversed(labels))
+
+    def _node(self, node_id: NodeId) -> _Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise XMLDBError(f"{self.name}: dangling node id {node_id}") from None
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def value_at(self, path: "Path | str") -> Value:
+        return self._node(self.resolve(path)).value
+
+    def children_of(self, node_id: NodeId) -> Dict[str, NodeId]:
+        return dict(self._node(node_id).children)
+
+    def contains(self, path: "Path | str") -> bool:
+        return self.lookup(path) is not None
+
+    def subtree(self, path: "Path | str") -> Tree:
+        """Export the subtree at ``path`` as a value tree."""
+        return self._export(self.resolve(path))
+
+    def _export(self, node_id: NodeId) -> Tree:
+        node = self._node(node_id)
+        tree = Tree(node.value)
+        for label in sorted(node.children):
+            tree.children[label] = self._export(node.children[label])
+        return tree
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def byte_size(self) -> int:
+        """Approximate on-disk size of the node table."""
+        return self._byte_size
+
+    def iter_paths(self) -> Iterator[Tuple[Path, Value]]:
+        """All (path, value) pairs in deterministic order."""
+        def walk(node_id: NodeId, prefix: Path) -> Iterator[Tuple[Path, Value]]:
+            node = self._nodes[node_id]
+            yield prefix, node.value
+            for label in sorted(node.children):
+                yield from walk(node.children[label], prefix.child(label))
+
+        yield from walk(self.ROOT_ID, Path())
+
+    # ------------------------------------------------------------------
+    # Updates (the Figure 6 target contract)
+    # ------------------------------------------------------------------
+    def add_node(self, path: "Path | str", name: str, value: Value = None) -> NodeId:
+        parent_id = self.resolve(path)
+        parent = self._node(parent_id)
+        if parent.value is not None:
+            raise XMLDBError(f"{self.name}: cannot add a child under leaf {path}")
+        if name in parent.children:
+            raise XMLDBError(
+                f"{self.name}: node {Path.of(path).child(name)} already exists"
+            )
+        node = _Node(self._next_id, parent_id, name, value)
+        self._next_id += 1
+        self._nodes[node.node_id] = node
+        parent.children[name] = node.node_id
+        self._byte_size += node.record_bytes()
+        self._notify_added(node.node_id, name)
+        return node.node_id
+
+    def delete_node(self, path: "Path | str") -> Tree:
+        path = Path.of(path)
+        if path.is_root:
+            raise XMLDBError(f"{self.name}: cannot delete the root")
+        node_id = self.resolve(path)
+        removed = self._export(node_id)
+        parent = self._nodes[self._node_parent(node_id)]
+        self._free(node_id)
+        del parent.children[path.last]
+        return removed
+
+    def _node_parent(self, node_id: NodeId) -> NodeId:
+        parent = self._node(node_id).parent
+        if parent is None:
+            raise XMLDBError(f"{self.name}: node {node_id} has no parent")
+        return parent
+
+    def _free(self, node_id: NodeId) -> None:
+        node = self._node(node_id)
+        for child_id in list(node.children.values()):
+            self._free(child_id)
+        self._byte_size -= node.record_bytes()
+        del self._nodes[node_id]
+        self._notify_removed(node_id, node.label)
+
+    def paste_node(self, path: "Path | str", subtree: Tree) -> Optional[Tree]:
+        """Install ``subtree`` at ``path`` (parent must exist), replacing
+        existing content; returns the overwritten subtree, if any."""
+        path = Path.of(path)
+        if path.is_root:
+            raise XMLDBError(f"{self.name}: cannot paste over the root")
+        parent_id = self.resolve(path.parent)
+        parent = self._node(parent_id)
+        if parent.value is not None:
+            raise XMLDBError(f"{self.name}: paste parent {path.parent} is a leaf")
+        overwritten: Optional[Tree] = None
+        existing = parent.children.get(path.last)
+        if existing is not None:
+            overwritten = self._export(existing)
+            self._free(existing)
+            del parent.children[path.last]
+        self._import(parent_id, path.last, subtree)
+        return overwritten
+
+    def _import(self, parent_id: NodeId, label: str, subtree: Tree) -> NodeId:
+        node = _Node(self._next_id, parent_id, label, subtree.value)
+        self._next_id += 1
+        self._nodes[node.node_id] = node
+        self._nodes[parent_id].children[label] = node.node_id
+        self._byte_size += node.record_bytes()
+        self._notify_added(node.node_id, label)
+        for child_label in sorted(subtree.children):
+            self._import(node.node_id, child_label, subtree.children[child_label])
+        return node.node_id
+
+    # ------------------------------------------------------------------
+    def load_tree(self, tree: Tree) -> None:
+        """Bulk-load a value tree under the root (initial population)."""
+        for label in sorted(tree.children):
+            if self._nodes[self.ROOT_ID].children.get(label) is not None:
+                raise XMLDBError(f"{self.name}: root already has child {label!r}")
+            self._import(self.ROOT_ID, label, tree.children[label])

@@ -1,0 +1,89 @@
+"""Shared fixtures: the paper's running example (Figures 3 and 4).
+
+``S1``, ``S2`` and the initial target ``T`` are transcribed from
+Figure 4; ``figure3_script`` is the update operation of Figure 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import CostModel, VirtualClock
+from repro.core.editor import CurationEditor
+from repro.core.provenance import ProvTable
+from repro.core.stores import make_store
+from repro.core.tree import Tree
+from repro.core.updates import parse_script
+from repro.wrappers.memory import MemorySourceDB, MemoryTargetDB
+
+FIGURE3_SCRIPT = """
+(1) delete c5 from T;
+(2) copy S1/a1/y into T/c1/y;
+(3) insert {c2 : {}} into T;
+(4) copy S1/a2 into T/c2;
+(5) insert {y : {}} into T/c2;
+(6) copy S2/b3/y into T/c2/y;
+(7) copy S1/a3 into T/c3;
+(8) insert {c4 : {}} into T;
+(9) copy S2/b2 into T/c4;
+(10) insert {y : 12} into T/c4;
+"""
+
+
+def make_s1() -> Tree:
+    return Tree.from_dict({"a1": {"x": 1, "y": 2}, "a2": {"x": 3}, "a3": {"x": 7, "y": 5}})
+
+
+def make_s2() -> Tree:
+    return Tree.from_dict({"b1": {"x": 1, "y": 2}, "b2": {"x": 4}, "b3": {"x": 7, "y": 6}})
+
+
+def make_t_initial() -> Tree:
+    return Tree.from_dict({"c1": {"x": 1, "y": 3}, "c5": {"x": 9, "y": 7}})
+
+
+#: Figure 4's final target state T'
+T_PRIME = {
+    "c1": {"x": 1, "y": 2},
+    "c2": {"x": 3, "y": 6},
+    "c3": {"x": 7, "y": 5},
+    "c4": {"x": 4, "y": 12},
+}
+
+
+@pytest.fixture
+def figure3_updates():
+    return parse_script(FIGURE3_SCRIPT)
+
+
+@pytest.fixture
+def s1_tree():
+    return make_s1()
+
+
+@pytest.fixture
+def s2_tree():
+    return make_s2()
+
+
+@pytest.fixture
+def t_initial():
+    return make_t_initial()
+
+
+def build_editor(method: str, first_tid: int = 121, **store_kwargs):
+    """An editor over the paper's example databases with a fresh store."""
+    clock = VirtualClock()
+    table = ProvTable(clock=clock, cost_model=CostModel())
+    store = make_store(method, table, first_tid=first_tid, **store_kwargs)
+    editor = CurationEditor(
+        target=MemoryTargetDB("T", make_t_initial()),
+        sources=[MemorySourceDB("S1", make_s1()), MemorySourceDB("S2", make_s2())],
+        store=store,
+    )
+    return editor
+
+
+@pytest.fixture
+def editor_factory():
+    return build_editor

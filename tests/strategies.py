@@ -1,0 +1,127 @@
+"""Hypothesis strategies shared across the property-based tests.
+
+The central one is :func:`scripts`, which draws *valid* random update
+scripts: every generated operation is applicable to the evolving target
+(inserts of fresh labels, deletes of live nodes, copies from live source
+locations to live-parent destinations).  This is what lets properties
+like "hierarchical expansion equals the naive table" be tested over the
+whole update language rather than hand-picked cases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.paths import Path
+from repro.core.tree import Tree
+from repro.core.updates import Copy, Delete, Insert, Update, Workspace
+
+LABELS = ["a", "b", "c", "d", "e"]
+SOURCE_NAME = "S1"
+TARGET_NAME = "T"
+
+
+def small_trees(max_depth: int = 3) -> st.SearchStrategy[Tree]:
+    """Random small trees with values at the leaves."""
+    leaves = st.one_of(
+        st.integers(min_value=-100, max_value=100),
+        st.text(alphabet="xyz", min_size=1, max_size=3),
+        st.booleans(),
+    ).map(Tree.leaf)
+
+    def extend(children: st.SearchStrategy[Tree]) -> st.SearchStrategy[Tree]:
+        return st.dictionaries(
+            st.sampled_from(LABELS), children, min_size=0, max_size=3
+        ).map(_tree_of)
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def _tree_of(children: dict) -> Tree:
+    node = Tree.empty()
+    for label, child in children.items():
+        node.add_child(label, child)
+    return node
+
+
+@st.composite
+def scripts(draw, min_ops: int = 1, max_ops: int = 12) -> Tuple[Workspace, List[Update]]:
+    """Draw ``(initial workspace, valid update script)``.
+
+    The workspace contains a source ``S1`` and a target ``T``; the
+    returned workspace is the *initial* state (unmodified).
+    """
+    source = draw(small_trees())
+    target = draw(small_trees())
+    if target.is_leaf_value:
+        target = Tree.empty()
+    initial = Workspace(
+        {TARGET_NAME: target.deep_copy(), SOURCE_NAME: source}, target=TARGET_NAME
+    )
+    # simulate on a scratch copy to keep each drawn op valid
+    scratch = Workspace(
+        {TARGET_NAME: target.deep_copy(), SOURCE_NAME: source.deep_copy()},
+        target=TARGET_NAME,
+    )
+    n_ops = draw(st.integers(min_value=min_ops, max_value=max_ops))
+    ops: List[Update] = []
+    fresh = 0
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["ins", "ins", "del", "copy", "copy"]))
+        t = scratch.roots[TARGET_NAME]
+        interior = [
+            path for path, node in t.nodes() if not node.is_leaf_value
+        ]
+        if kind == "ins":
+            parent = draw(st.sampled_from(interior))
+            existing = set(t.resolve(parent).children)
+            label_pool = [l for l in LABELS if l not in existing]
+            if label_pool and draw(st.booleans()):
+                label = draw(st.sampled_from(label_pool))
+            else:
+                fresh += 1
+                label = f"n{fresh}"
+            value = draw(
+                st.one_of(st.none(), st.integers(min_value=0, max_value=99))
+            )
+            op = Insert(label, value, Path([TARGET_NAME]).join(parent))
+            t.resolve(parent).add_child(
+                label, Tree.empty() if value is None else Tree.leaf(value)
+            )
+        elif kind == "del":
+            victims = [path for path, _ in t.nodes() if not path.is_root]
+            if not victims:
+                continue
+            victim = draw(st.sampled_from(victims))
+            op = Delete(victim.last, Path([TARGET_NAME]).join(victim.parent))
+            t.resolve(victim.parent).remove_child(victim.last)
+        else:  # copy
+            s = scratch.roots[SOURCE_NAME]
+            src_pool = [path for path, _ in s.nodes() if not path.is_root]
+            tgt_pool = [path for path, _ in t.nodes() if not path.is_root]
+            from_target = draw(st.booleans()) and tgt_pool
+            if from_target:
+                src_rel = draw(st.sampled_from(tgt_pool))
+                src_abs = Path([TARGET_NAME]).join(src_rel)
+                copied = t.resolve(src_rel).deep_copy()
+            elif src_pool:
+                src_rel = draw(st.sampled_from(src_pool))
+                src_abs = Path([SOURCE_NAME]).join(src_rel)
+                copied = s.resolve(src_rel).deep_copy()
+            else:
+                continue
+            dst_parent = draw(st.sampled_from(interior))
+            existing = sorted(t.resolve(dst_parent).children)
+            if existing and draw(st.booleans()):
+                dst_label = draw(st.sampled_from(existing))  # overwrite
+            else:
+                fresh += 1
+                dst_label = f"c{fresh}"
+            dst_rel = dst_parent.child(dst_label)
+            op = Copy(src_abs, Path([TARGET_NAME]).join(dst_rel))
+            parent_node = t.resolve(dst_parent)
+            parent_node.children[dst_label] = copied
+        ops.append(op)
+    return initial, ops

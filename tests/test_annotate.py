@@ -1,0 +1,94 @@
+"""Tests for the mixed data+provenance views (Section 2.2's Q(x, px))."""
+
+import pytest
+
+from repro import (
+    CurationEditor,
+    MemorySourceDB,
+    MemoryTargetDB,
+    ProvTable,
+    ProvenanceQueries,
+    Tree,
+    make_store,
+)
+from repro.core.annotate import from_view, origin_view
+from repro.core.paths import Path
+
+
+@pytest.fixture(params=["N", "H", "T", "HT"])
+def session(request):
+    source = MemorySourceDB("S", Tree.from_dict({"rec": {"a": 1, "b": 2}}))
+    store = make_store(request.param, ProvTable())
+    editor = CurationEditor(
+        target=MemoryTargetDB("T", Tree.from_dict({"old": 9, "area": {}})),
+        sources=[source],
+        store=store,
+    )
+    editor.copy_paste("S/rec", "T/area/rec")
+    editor.commit()
+    editor.insert("T/area/rec", "note", "checked")
+    editor.commit()
+    editor.copy_paste("T/area/rec", "T/area/copy2")
+    editor.commit()
+    return editor, ProvenanceQueries(store)
+
+
+def by_loc(annotations):
+    return {str(a.loc): a for a in annotations}
+
+
+class TestOriginView:
+    def test_kinds(self, session):
+        editor, queries = session
+        annotations = by_loc(origin_view(editor.target_tree(), queries))
+
+        assert annotations["T/old"].kind == "initial"
+
+        copied = annotations["T/area/rec/a"]
+        assert copied.kind == "copied"
+        assert str(copied.origin) == "S/rec/a"
+        assert copied.value == 1
+
+        inserted = annotations["T/area/rec/note"]
+        assert inserted.kind == "inserted"
+        assert inserted.value == "checked"
+
+        # the second-generation copy traces through T back to S
+        second = annotations["T/area/copy2/b"]
+        assert second.kind == "copied"
+        assert str(second.origin) == "S/rec/b"
+        # the note inside the copied subtree traces to its insertion
+        note2 = annotations["T/area/copy2/note"]
+        assert note2.kind == "inserted"
+
+    def test_scoped(self, session):
+        editor, queries = session
+        annotations = origin_view(editor.target_tree(), queries, under="T/area/rec")
+        assert {str(a.loc) for a in annotations} == {
+            "T/area/rec/a", "T/area/rec/b", "T/area/rec/note",
+        }
+
+
+class TestFromView:
+    def test_last_transaction_effects(self, session):
+        editor, queries = session
+        annotations = by_loc(from_view(editor.target_tree(), queries))
+
+        # the final transaction copied T/area/rec -> T/area/copy2
+        moved = annotations["T/area/copy2/a"]
+        assert moved.kind == "copied"
+        assert str(moved.origin) == "T/area/rec/a"
+
+        # everything else was unchanged in the final transaction
+        assert annotations["T/area/rec/a"].kind == "unchanged"
+        assert str(annotations["T/area/rec/a"].origin) == "T/area/rec/a"
+        assert annotations["T/old"].kind == "unchanged"
+
+    def test_agrees_with_came_from(self, session):
+        editor, queries = session
+        for annotation in from_view(editor.target_tree(), queries):
+            expected = queries.came_from(queries.tnow, annotation.loc)
+            if annotation.kind in ("copied", "unchanged"):
+                assert annotation.origin == expected
+            else:
+                assert expected is None

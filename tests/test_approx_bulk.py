@@ -1,0 +1,174 @@
+"""Tests for approximate provenance and the bulk update language
+(Section 6 future work, implemented)."""
+
+import pytest
+
+from repro.core.approx import ApproxProvStore, ApproxRecord, PathPattern
+from repro.core.bulk import BulkUpdater
+from repro.core.editor import CurationEditor
+from repro.core.paths import Path
+from repro.core.provenance import OP_COPY, ProvTable
+from repro.core.stores import make_store
+from repro.core.tree import Tree
+from repro.wrappers.memory import MemorySourceDB, MemoryTargetDB
+
+
+class TestPathPattern:
+    def test_parse_and_str(self):
+        pattern = PathPattern.parse("T/a/*/b")
+        assert str(pattern) == "T/a/*/b"
+        assert pattern.wildcard_count == 1
+
+    def test_exact_match(self):
+        pattern = PathPattern.parse("T/a/*/b")
+        assert pattern.match("T/a/x/b") == ("x",)
+        assert pattern.match("T/a/x/c") is None
+        assert pattern.match("T/a/x") is None
+        assert pattern.match("T/a/x/b/deep") is None
+
+    def test_prefix_match(self):
+        pattern = PathPattern.parse("T/a/*")
+        bindings, suffix = pattern.match_prefix("T/a/x/deep/leaf")
+        assert bindings == ("x",)
+        assert str(suffix) == "deep/leaf"
+        assert pattern.match_prefix("T/b/x") is None
+
+    def test_substitute(self):
+        pattern = PathPattern.parse("S/a/*/b/*")
+        assert pattern.substitute(("x", "y")) == Path.parse("S/a/x/b/y")
+        with pytest.raises(ValueError):
+            pattern.substitute(("x",))
+        with pytest.raises(ValueError):
+            pattern.substitute(("x", "y", "z"))
+
+    def test_no_wildcards(self):
+        pattern = PathPattern.parse("T/a/b")
+        assert pattern.match("T/a/b") == ()
+        assert pattern.substitute(()) == Path.parse("T/a/b")
+
+
+class TestApproxStore:
+    def test_copy_record_wildcard_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            ApproxRecord(
+                1, OP_COPY,
+                PathPattern.parse("T/a/*"),
+                PathPattern.parse("S/a/*/extra/*"),
+            )
+
+    def test_possible_sources_with_binding(self):
+        store = ApproxProvStore()
+        store.record_bulk_copy(7, "T/refs/*", "PubMed/citations/*")
+        sources = store.possible_sources("T/refs/pmid123")
+        assert sources == [(7, Path.parse("PubMed/citations/pmid123"))]
+
+    def test_descendants_covered(self):
+        store = ApproxProvStore()
+        store.record_bulk_copy(7, "T/refs/*", "PubMed/citations/*")
+        sources = store.possible_sources("T/refs/pmid123/title")
+        assert sources == [(7, Path.parse("PubMed/citations/pmid123/title"))]
+
+    def test_three_valued_queries(self):
+        store = ApproxProvStore()
+        store.record_bulk_copy(7, "T/refs/*", "PubMed/citations/*")
+        assert store.may_have_come_from("T/refs/x", "PubMed/citations/x")
+        assert store.cannot_have_come_from("T/refs/x", "PubMed/citations/y")
+        assert store.cannot_have_come_from("T/other/x", "PubMed/citations/x")
+
+    def test_may_have_been_touched(self):
+        store = ApproxProvStore()
+        store.record_bulk_copy(7, "T/refs/*", "P/c/*")
+        store.record_bulk_delete(9, "T/refs/*/flags")
+        store.record_bulk_insert(11, "T/refs/*/status")
+        assert store.may_have_been_touched("T/refs/x") == [7]
+        assert store.may_have_been_touched("T/refs/x/flags") == [7, 9]
+        assert store.may_have_been_touched("T/refs/x/flags/deep") == [7, 9]
+        assert store.may_have_been_touched("T/refs/x/status") == [7, 11]
+        assert store.may_have_been_touched("T/elsewhere") == []
+
+    def test_overapproximation_is_one_sided(self):
+        """may_have_come_from can have false positives but
+        cannot_have_come_from never has false negatives (by construction:
+        they are complements)."""
+        store = ApproxProvStore()
+        store.record_bulk_copy(7, "T/refs/*", "P/c/*")
+        loc, src = "T/refs/never_actually_copied", "P/c/never_actually_copied"
+        assert store.may_have_come_from(loc, src)  # a false positive
+        assert not store.cannot_have_come_from(loc, src)
+
+
+def build_bulk(method="T"):
+    source = MemorySourceDB("P", Tree.from_dict({
+        "cites": {
+            "c1": {"title": "A", "journal": "X"},
+            "c2": {"title": "B", "journal": "Y"},
+            "c3": {"title": "C", "journal": "X"},
+        }
+    }))
+    store = make_store(method, ProvTable())
+    approx = ApproxProvStore()
+    editor = CurationEditor(
+        target=MemoryTargetDB("T", Tree.from_dict({"refs": {}})),
+        sources=[source],
+        store=store,
+    )
+    return BulkUpdater(editor, approx_store=approx), editor, store, approx
+
+
+class TestBulkUpdater:
+    def test_bulk_copy_selects_by_predicate(self):
+        bulk, editor, store, _ = build_bulk()
+        performed = bulk.bulk_copy("P", "cites/*[journal='X']", "T/refs")
+        assert len(performed) == 2
+        tree = editor.target_tree()
+        assert tree.resolve("refs/c1/title").value == "A"
+        assert tree.resolve("refs/c3/title").value == "C"
+        assert not tree.contains_path("refs/c2")
+
+    def test_bulk_copy_is_one_transaction(self):
+        bulk, _editor, store, _ = build_bulk()
+        bulk.bulk_copy("P", "cites/*", "T/refs")
+        assert {record.tid for record in store.records()} == {1}
+
+    def test_bulk_copy_rename(self):
+        bulk, editor, _store, _ = build_bulk()
+        bulk.bulk_copy("P", "cites/*", "T/refs",
+                       rename=lambda path: f"ref_{path.last}")
+        assert editor.target_tree().contains_path("refs/ref_c1")
+
+    def test_bulk_insert(self):
+        bulk, editor, _store, _ = build_bulk()
+        bulk.bulk_copy("P", "cites/*", "T/refs")
+        inserted = bulk.bulk_insert("refs/*", "status", "new")
+        assert len(inserted) == 3
+        assert editor.target_tree().resolve("refs/c2/status").value == "new"
+
+    def test_bulk_delete_deepest_first(self):
+        bulk, editor, _store, _ = build_bulk()
+        bulk.bulk_copy("P", "cites/*", "T/refs")
+        deleted = bulk.bulk_delete("refs/*/journal")
+        assert len(deleted) == 3
+        assert not editor.target_tree().contains_path("refs/c1/journal")
+
+    def test_approximate_mode_records_pattern(self):
+        bulk, _editor, store, approx = build_bulk()
+        bulk.bulk_copy("P", "cites/*[journal='X']", "T/refs", approximate=True)
+        assert approx.row_count == 1
+        record = approx.records()[0]
+        assert str(record.loc) == "T/refs/*"
+        assert str(record.src) == "P/cites/*"
+        # storage is O(1) in the number of copied citations
+        assert approx.row_count < store.row_count
+
+    def test_unknown_database_rejected(self):
+        bulk, _editor, _store, _ = build_bulk()
+        with pytest.raises(Exception):
+            bulk.bulk_copy("Nowhere", "cites/*", "T/refs")
+
+    def test_exact_and_approx_agree_on_positives(self):
+        """Everything the exact store records as a copy must be
+        may-have-come-from under the approximation (soundness)."""
+        bulk, _editor, store, approx = build_bulk()
+        performed = bulk.bulk_copy("P", "cites/*", "T/refs", approximate=True)
+        for src, dst in performed:
+            assert approx.may_have_come_from(dst, src)

@@ -1,0 +1,112 @@
+"""Tests for the version archive (Section 5) and tree diffing."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.archive import VersionArchive, diff_trees
+from repro.core.paths import Path
+from repro.core.tree import Tree
+
+from .strategies import small_trees
+
+
+class TestDiff:
+    def test_empty_diff(self):
+        t = Tree.from_dict({"a": 1})
+        upserts, deletes = diff_trees(t, t.deep_copy())
+        assert upserts == [] and deletes == []
+
+    def test_added_leaf(self):
+        old = Tree.from_dict({"a": 1})
+        new = Tree.from_dict({"a": 1, "b": 2})
+        upserts, deletes = diff_trees(old, new)
+        assert [(str(p), payload) for p, payload in upserts] == [("b", ("leaf", 2))]
+        assert deletes == []
+
+    def test_deleted_subtree_reports_root_only(self):
+        old = Tree.from_dict({"a": {"x": 1, "y": {"z": 2}}})
+        new = Tree.from_dict({})
+        _upserts, deletes = diff_trees(old, new)
+        assert [str(p) for p in deletes] == ["a"]
+
+    def test_changed_value(self):
+        old = Tree.from_dict({"a": 1})
+        new = Tree.from_dict({"a": 2})
+        upserts, deletes = diff_trees(old, new)
+        assert [(str(p), payload) for p, payload in upserts] == [("a", ("leaf", 2))]
+
+    def test_leaf_becomes_interior(self):
+        old = Tree.from_dict({"a": 1})
+        new = Tree.from_dict({"a": {"b": 2}})
+        upserts, _ = diff_trees(old, new)
+        assert (Path.parse("a"), ("node", None)) in upserts
+        assert (Path.parse("a/b"), ("leaf", 2)) in upserts
+
+
+class TestArchive:
+    def test_reconstruct_each_version(self):
+        archive = VersionArchive()
+        v1 = Tree.from_dict({"a": 1})
+        v2 = Tree.from_dict({"a": 1, "b": {"c": 2}})
+        v3 = Tree.from_dict({"b": {"c": 3}})
+        archive.record_version(1, v1)
+        archive.record_version(2, v2)
+        archive.record_version(3, v3)
+        assert archive.reconstruct(1) == v1
+        assert archive.reconstruct(2) == v2
+        assert archive.reconstruct(3) == v3
+        # tid between versions resolves to the latest at-or-before
+        assert archive.reconstruct(2) == archive.reconstruct(2)
+
+    def test_out_of_order_rejected(self):
+        archive = VersionArchive()
+        archive.record_version(1, Tree.from_dict({}))
+        archive.record_version(5, Tree.from_dict({"a": 1}))
+        with pytest.raises(ValueError):
+            archive.record_version(3, Tree.from_dict({}))
+
+    def test_before_first_version_rejected(self):
+        archive = VersionArchive()
+        archive.record_version(10, Tree.from_dict({}))
+        with pytest.raises(KeyError):
+            archive.reconstruct(9)
+
+    def test_empty_archive(self):
+        archive = VersionArchive()
+        assert archive.version_tids == []
+        with pytest.raises(KeyError):
+            archive.reconstruct(1)
+        with pytest.raises(KeyError):
+            archive.latest()
+
+    def test_archived_versions_are_isolated(self):
+        archive = VersionArchive()
+        tree = Tree.from_dict({"a": 1})
+        archive.record_version(1, tree)
+        tree.add_child("b", Tree.leaf(2))  # mutate after archiving
+        assert not archive.reconstruct(1).contains_path("b")
+
+    def test_storage_grows_with_change_not_size(self):
+        archive = VersionArchive()
+        big = Tree.from_dict({f"k{i}": i for i in range(100)})
+        archive.record_version(1, big)
+        big2 = big.deep_copy()
+        big2.add_child("extra", Tree.leaf(1))
+        archive.record_version(2, big2)
+        delta = archive.delta_for(2)
+        assert delta is not None
+        assert delta.change_count == 1  # one upsert, despite 100+ nodes
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_trees(), small_trees(), small_trees())
+    def test_reconstruction_roundtrip_random(self, t1, t2, t3):
+        versions = []
+        for tree in (t1, t2, t3):
+            if tree.is_leaf_value:
+                tree = Tree.empty()
+            versions.append(tree)
+        archive = VersionArchive()
+        for tid, tree in enumerate(versions, start=1):
+            archive.record_version(tid, tree)
+        for tid, tree in enumerate(versions, start=1):
+            assert archive.reconstruct(tid) == tree, tid

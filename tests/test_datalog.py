@@ -1,0 +1,200 @@
+"""Tests for the Datalog engine: parsing, stratification, semi-naive
+evaluation, negation, builtins."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Const,
+    DatalogError,
+    Literal,
+    Program,
+    Rule,
+    Var,
+    parse_program,
+    parse_rule,
+)
+
+
+def program_with(text, facts):
+    program = Program()
+    for pred, rows in facts.items():
+        program.add_facts(pred, rows)
+    for rule in parse_program(text):
+        program.add_rule(rule)
+    return program
+
+
+class TestParser:
+    def test_fact_rule(self):
+        rule = parse_rule("p(1, 'a').")
+        assert rule.head.pred == "p"
+        assert rule.head.terms == (Const(1), Const("a"))
+        assert rule.body == ()
+
+    def test_rule_with_body(self):
+        rule = parse_rule("path(X, Z) :- path(X, Y), edge(Y, Z).")
+        assert rule.head.terms == (Var("X"), Var("Z"))
+        assert len(rule.body) == 2
+
+    def test_negation_forms(self):
+        for text in ("p(X) :- q(X), not r(X).", "p(X) :- q(X), ¬ r(X)."):
+            rule = parse_rule(text)
+            assert rule.body[1].negated
+
+    def test_constants(self):
+        rule = parse_rule('p(X) :- q(X, "C", lowercase, null, -3).')
+        terms = rule.body[0].atom.terms
+        assert terms[1] == Const("C")
+        assert terms[2] == Const("lowercase")
+        assert terms[3] == Const(None)
+        assert terms[4] == Const(-3)
+
+    def test_comments(self):
+        rules = parse_program("% header\np(X) :- q(X). % trailing\nq(1).")
+        assert len(rules) == 2
+
+    def test_syntax_errors(self):
+        for bad in ("p(X", "p(X) :- ", "P(x).", "p(X) q(X)."):
+            with pytest.raises(DatalogError):
+                parse_program(bad)
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        program = program_with(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z).",
+            {"edge": [(1, 2), (2, 3), (3, 4)]},
+        )
+        assert program.query("path") == {
+            (1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4),
+        }
+
+    def test_cycle_terminates(self):
+        program = program_with(
+            "reach(X, Y) :- edge(X, Y). reach(X, Z) :- reach(X, Y), edge(Y, Z).",
+            {"edge": [(1, 2), (2, 1)]},
+        )
+        assert program.query("reach") == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_constants_filter(self):
+        program = program_with(
+            'big(X) :- n(X, "big").',
+            {"n": [(1, "big"), (2, "small")]},
+        )
+        assert program.query("big") == {(1,)}
+
+    def test_join_on_shared_variable(self):
+        program = program_with(
+            "grand(X, Z) :- parent(X, Y), parent(Y, Z).",
+            {"parent": [("a", "b"), ("b", "c"), ("b", "d")]},
+        )
+        assert program.query("grand") == {("a", "c"), ("a", "d")}
+
+    def test_memoization_invalidated_on_new_fact(self):
+        program = program_with("p(X) :- q(X).", {"q": [(1,)]})
+        assert program.query("p") == {(1,)}
+        program.add_fact("q", (2,))
+        assert program.query("p") == {(1,), (2,)}
+
+
+class TestNegation:
+    def test_stratified_negation(self):
+        program = program_with(
+            "unch(X) :- node(X), not touched(X).",
+            {"node": [(1,), (2,), (3,)], "touched": [(2,)]},
+        )
+        assert program.query("unch") == {(1,), (3,)}
+
+    def test_negation_through_derived(self):
+        program = program_with(
+            """
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreachable(X) :- node(X), not reach(X).
+            """,
+            {
+                "start": [(1,)],
+                "edge": [(1, 2)],
+                "node": [(1,), (2,), (3,)],
+            },
+        )
+        assert program.query("unreachable") == {(3,)}
+
+    def test_unstratifiable_rejected(self):
+        program = Program()
+        program.add_fact("n", (1,))
+        for rule in parse_program(
+            "p(X) :- n(X), not q(X). q(X) :- n(X), not p(X)."
+        ):
+            program.add_rule(rule)
+        with pytest.raises(DatalogError):
+            program.evaluate()
+
+    def test_unbound_negation_rejected(self):
+        program = program_with("p(X) :- not q(X), n(X).", {"n": [(1,)], "q": []})
+        with pytest.raises(DatalogError):
+            program.evaluate()
+
+
+class TestSafety:
+    def test_unsafe_rule_rejected(self):
+        program = Program()
+        with pytest.raises(DatalogError):
+            program.add_rule(parse_rule("p(X, Y) :- q(X)."))
+
+    def test_builtin_head_rejected(self):
+        program = Program()
+        with pytest.raises(DatalogError):
+            program.add_rule(parse_rule("sub1(X, Y) :- q(X, Y)."))
+
+    def test_builtin_fact_rejected(self):
+        program = Program()
+        with pytest.raises(DatalogError):
+            program.add_fact("prefix", ("a", "b"))
+
+
+class TestBuiltins:
+    def test_sub1(self):
+        program = program_with("prev(X, Y) :- t(X), sub1(X, Y).", {"t": [(5,), (1,)]})
+        assert program.query("prev") == {(5, 4), (1, 0)}
+
+    def test_path_join_forward(self):
+        program = program_with(
+            'child(PA) :- p(P, A), path_join(P, A, PA).',
+            {"p": [("T/c2", "y"), ("", "root")]},
+        )
+        assert program.query("child") == {("T/c2/y",), ("root",)}
+
+    def test_path_join_backward(self):
+        program = program_with(
+            "split(P, A) :- full(PA), path_join(P, A, PA).",
+            {"full": [("T/c2/y",), ("solo",)]},
+        )
+        assert program.query("split") == {("T/c2", "y"), ("", "solo")}
+
+    def test_prefix(self):
+        program = program_with(
+            "under(Q) :- cand(Q), prefix('T/c2', Q).",
+            {"cand": [("T/c2",), ("T/c2/y",), ("T/c21",), ("T/x",)]},
+        )
+        assert program.query("under") == {("T/c2",), ("T/c2/y",)}
+
+    def test_head_label(self):
+        program = program_with(
+            "intarget(P) :- cand(P), head_label(P, 'T').",
+            {"cand": [("T/a",), ("S1/a",), ("T",)]},
+        )
+        assert program.query("intarget") == {("T/a",), ("T",)}
+
+    def test_leq_neq(self):
+        program = program_with(
+            "ok(X, Y) :- pair(X, Y), leq(X, Y), neq(X, Y).",
+            {"pair": [(1, 2), (2, 2), (3, 2)]},
+        )
+        assert program.query("ok") == {(1, 2)}
+
+    def test_builtin_needs_binding(self):
+        program = program_with("p(X, Y) :- sub1(X, Y), n(X).", {"n": [(1,)]})
+        with pytest.raises(DatalogError):
+            program.evaluate()

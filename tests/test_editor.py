@@ -1,0 +1,144 @@
+"""Tests for the provenance-aware editor: guards, equivalence with the
+formal semantics, transactions, archiving, and cost accounting."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.common.clock import CostModel, VirtualClock
+from repro.core.archive import VersionArchive
+from repro.core.editor import CurationEditor, EditorError
+from repro.core.provenance import ProvTable
+from repro.core.stores import make_store
+from repro.core.tree import Tree
+from repro.core.updates import Workspace, apply_sequence
+from repro.wrappers.memory import MemorySourceDB, MemoryTargetDB
+
+from .strategies import SOURCE_NAME, TARGET_NAME, scripts
+
+
+def make_editor(method="HT", target=None, archive=None):
+    store = make_store(method, ProvTable(clock=VirtualClock()))
+    return CurationEditor(
+        target=MemoryTargetDB("T", Tree.from_dict(target or {"area": {}})),
+        sources=[MemorySourceDB("S", Tree.from_dict({"rec": {"v": 1}}))],
+        store=store,
+        archive=archive,
+    )
+
+
+class TestGuards:
+    def test_writes_must_target_t(self):
+        editor = make_editor()
+        with pytest.raises(EditorError):
+            editor.insert("S/rec", "x", 1)
+        with pytest.raises(EditorError):
+            editor.delete("S/rec")
+        with pytest.raises(EditorError):
+            editor.copy_paste("S/rec", "S/other")
+
+    def test_cannot_delete_or_overwrite_root(self):
+        editor = make_editor()
+        with pytest.raises(EditorError):
+            editor.delete("T")
+        with pytest.raises(EditorError):
+            editor.copy_paste("S/rec", "T")
+
+    def test_unknown_source_db(self):
+        editor = make_editor()
+        with pytest.raises(EditorError):
+            editor.copy_paste("Nowhere/x", "T/area/x")
+
+    def test_source_name_collision_rejected(self):
+        store = make_store("N", ProvTable())
+        with pytest.raises(EditorError):
+            CurationEditor(
+                target=MemoryTargetDB("T", Tree.empty()),
+                sources=[MemorySourceDB("T", Tree.empty())],
+                store=store,
+            )
+
+    def test_failed_action_tracks_nothing(self):
+        editor = make_editor()
+        with pytest.raises(Exception):
+            editor.insert("T/area/missing/deep", "x", 1)
+        assert editor.store.row_count == 0
+        assert editor.operations_performed == 0
+
+
+class TestSemanticsEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(scripts(max_ops=10))
+    def test_editor_matches_formal_semantics(self, drawn):
+        """Applying a script through the editor produces the same target
+        tree as the formal [[U]] semantics on a workspace."""
+        initial, ops = drawn
+        formal = Workspace(
+            {
+                TARGET_NAME: initial.roots[TARGET_NAME].deep_copy(),
+                SOURCE_NAME: initial.roots[SOURCE_NAME].deep_copy(),
+            },
+            target=TARGET_NAME,
+        )
+        apply_sequence(formal, ops)
+
+        store = make_store("N", ProvTable())
+        editor = CurationEditor(
+            target=MemoryTargetDB(TARGET_NAME, initial.roots[TARGET_NAME].deep_copy()),
+            sources=[MemorySourceDB(SOURCE_NAME, initial.roots[SOURCE_NAME])],
+            store=store,
+        )
+        for op in ops:
+            editor.apply(op)
+        assert editor.target_tree() == formal.target_tree()
+
+
+class TestTransactionsAndArchive:
+    def test_commit_returns_tid(self):
+        editor = make_editor("T")
+        editor.copy_paste("S/rec", "T/area/one")
+        assert editor.commit() == 1
+        editor.copy_paste("S/rec", "T/area/two")
+        assert editor.commit() == 2
+
+    def test_run_script_commits_periodically(self):
+        from repro.core.updates import parse_script
+
+        editor = make_editor("T")
+        script = parse_script(
+            "copy S/rec into T/area/a1; copy S/rec into T/area/a2; "
+            "copy S/rec into T/area/a3"
+        )
+        editor.run_script(script, commit_every=2)
+        assert {record.tid for record in editor.store.records()} == {1, 2}
+
+    def test_archive_records_reference_versions(self):
+        archive = VersionArchive()
+        editor = make_editor("T", archive=archive)
+        editor.copy_paste("S/rec", "T/area/one")
+        tid1 = editor.commit()
+        editor.delete("T/area/one")
+        tid2 = editor.commit()
+        assert archive.version_tids == [tid1, tid2]
+        assert archive.reconstruct(tid1).contains_path("area/one")
+        assert not archive.reconstruct(tid2).contains_path("area/one")
+
+
+class TestCostAccounting:
+    def test_every_action_charges_one_target_interaction(self):
+        editor = make_editor("HT")
+        editor.insert("T/area", "a")
+        editor.copy_paste("S/rec", "T/area/b")
+        editor.delete("T/area/a")
+        clock = editor.clock
+        assert clock.count("target.update") == 3
+        assert clock.total("target.update") == 3 * editor.cost_model.target_op_ms
+        assert editor.operations_performed == 3
+
+    def test_transactional_ops_do_not_touch_store(self):
+        editor = make_editor("T")
+        editor.copy_paste("S/rec", "T/area/a")
+        assert editor.clock.total("prov.commit") == 0
+        before_rows = editor.store.row_count
+        assert before_rows == 0  # nothing written until commit
+        editor.commit()
+        assert editor.store.row_count > 0

@@ -1,0 +1,155 @@
+"""Tests for the multi-database network (Own query) and lost-source
+recovery (Section 5)."""
+
+import pytest
+
+from repro.core.editor import CurationEditor
+from repro.core.network import ProvenanceNetwork
+from repro.core.provenance import ProvTable
+from repro.core.recovery import Contributor, reconstruct_source
+from repro.core.stores import make_store
+from repro.core.tree import Tree
+from repro.wrappers.memory import MemorySourceDB, MemoryTargetDB
+
+
+def curated(name, sources, method="HT"):
+    store = make_store(method, ProvTable())
+    editor = CurationEditor(
+        target=MemoryTargetDB(name, Tree.from_dict({"data": {}})),
+        sources=sources,
+        store=store,
+    )
+    return editor, store
+
+
+class TestOwnQuery:
+    def build_chain(self):
+        """S -> MyDB -> Portal: data copied through two tracked databases."""
+        source = MemorySourceDB("S", Tree.from_dict({"rec": {"v": 42}}))
+        editor1, store1 = curated("MyDB", [source])
+        editor1.copy_paste("S/rec", "MyDB/data/rec")
+        editor1.commit()
+
+        # Portal copies from MyDB (wrapped as a source via its tree)
+        mydb_as_source = MemorySourceDB("MyDB", editor1.target_tree())
+        editor2, store2 = curated("Portal", [mydb_as_source])
+        editor2.copy_paste("MyDB/data/rec", "Portal/data/rec")
+        editor2.commit()
+
+        network = ProvenanceNetwork()
+        network.register("MyDB", store1)
+        network.register("Portal", store2)
+        return network
+
+    def test_ownership_chain(self):
+        network = self.build_chain()
+        segments = network.own("Portal/data/rec/v")
+        assert [segment.database for segment in segments] == ["Portal", "MyDB", "S"]
+        assert segments[0].via == "copy"
+        assert segments[1].via == "copy"
+        assert segments[2].via == "origin"  # S is untracked: chain ends
+
+    def test_combined_hist(self):
+        network = self.build_chain()
+        hist = network.combined_hist("Portal/data/rec")
+        assert hist == [("Portal", 1), ("MyDB", 1)]
+
+    def test_own_of_local_insert(self):
+        editor, store = curated("DB1", [MemorySourceDB("S", Tree.from_dict({}))])
+        editor.insert("DB1/data", "fresh", 5)
+        editor.commit()
+        network = ProvenanceNetwork()
+        network.register("DB1", store)
+        segments = network.own("DB1/data/fresh")
+        assert len(segments) == 1
+        assert segments[0].via == "insert"
+
+    def test_duplicate_registration_rejected(self):
+        network = ProvenanceNetwork()
+        _editor, store = curated("X", [MemorySourceDB("S", Tree.from_dict({}))])
+        network.register("X", store)
+        with pytest.raises(ValueError):
+            network.register("X", store)
+
+
+class TestRecovery:
+    def build(self):
+        source_tree = Tree.from_dict({
+            "p1": {"name": "ABC1", "loc": "membrane"},
+            "p2": {"name": "CRP", "loc": "serum"},
+        })
+        source = MemorySourceDB("S", source_tree)
+        editor1, store1 = curated("T1", [source])
+        editor1.copy_paste("S/p1", "T1/data/p1")
+        editor1.copy_paste("S/p2", "T1/data/p2")
+        editor1.commit()
+
+        editor2, store2 = curated("T2", [source])
+        editor2.copy_paste("S/p2", "T2/data/other")
+        editor2.commit()
+        return source_tree, (editor1, store1), (editor2, store2)
+
+    def contributors(self, t1, t2):
+        return [
+            Contributor("T1", t1[1], t1[0].target_tree()),
+            Contributor("T2", t2[1], t2[0].target_tree()),
+        ]
+
+    def test_full_recovery_of_copied_leaves(self):
+        source_tree, t1, t2 = self.build()
+        result = reconstruct_source("S", self.contributors(t1, t2))
+        assert result.conflicts == []
+        assert result.tree.resolve("p1/name").value == "ABC1"
+        assert result.tree.resolve("p2/loc").value == "serum"
+        assert result.recovered_leaves == 4
+
+    def test_corroboration_recorded(self):
+        _source, t1, t2 = self.build()
+        result = reconstruct_source("S", self.contributors(t1, t2))
+        from repro.core.paths import Path
+        assert result.evidence[Path.parse("S/p2/name")] == ["T1", "T2"]
+        assert result.evidence[Path.parse("S/p1/name")] == ["T1"]
+
+    def test_modified_copies_are_not_evidence(self):
+        _source, t1, t2 = self.build()
+        editor1, _store1 = t1
+        editor1.delete("T1/data/p1/loc")
+        editor1.insert("T1/data/p1", "loc", "edited-by-hand")
+        editor1.commit()
+        result = reconstruct_source("S", self.contributors(t1, t2))
+        assert not result.tree.contains_path("p1/loc")  # no longer pristine
+        assert result.tree.contains_path("p1/name")     # untouched sibling kept
+
+    def test_conflicting_claims_reported(self):
+        _source, t1, t2 = self.build()
+        editor2, _store2 = t2
+        editor2.delete("T2/data/other/name")
+        editor2.insert("T2/data/other", "name", "CRP-variant")
+        editor2.commit()
+        # T2's name is modified after the copy -> not pristine -> no claim;
+        # so to manufacture a conflict, rebuild T2 copying a *different*
+        # source value instead.
+        source_b = MemorySourceDB("S", Tree.from_dict({
+            "p2": {"name": "CRP-variant", "loc": "serum"},
+        }))
+        editor3, store3 = curated("T3", [source_b])
+        editor3.copy_paste("S/p2", "T3/data/x")
+        editor3.commit()
+        result = reconstruct_source("S", [
+            Contributor("T1", t1[1], t1[0].target_tree()),
+            Contributor("T3", store3, editor3.target_tree()),
+        ])
+        conflict_paths = {str(conflict.src_path) for conflict in result.conflicts}
+        assert "S/p2/name" in conflict_paths
+        assert not result.tree.contains_path("p2/name")
+        assert result.tree.resolve("p2/loc").value == "serum"  # agreed value kept
+
+    def test_deleted_copies_contribute_nothing(self):
+        _source, t1, t2 = self.build()
+        editor2, _ = t2
+        editor2.delete("T2/data/other")
+        editor2.commit()
+        result = reconstruct_source("S", self.contributors(t1, t2))
+        # p2 still recovered via T1 only
+        from repro.core.paths import Path
+        assert result.evidence[Path.parse("S/p2/name")] == ["T1"]

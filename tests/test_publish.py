@@ -1,0 +1,105 @@
+"""Tests for provenance publishing/exchange (Section 2.2's vision of
+databases that 'publish it in a consistent form')."""
+
+import json
+
+import pytest
+
+from repro import (
+    CurationEditor,
+    MemorySourceDB,
+    MemoryTargetDB,
+    ProvTable,
+    ProvenanceQueries,
+    Tree,
+    make_store,
+)
+from repro.core.publish import (
+    export_provenance,
+    import_provenance,
+    import_published,
+)
+
+
+def curation_chain():
+    """S -> MyDB -> Portal, each tracked; returns both stores + trees."""
+    source = MemorySourceDB("S", Tree.from_dict({"rec": {"v": 42}}))
+    store1 = make_store("HT", ProvTable())
+    editor1 = CurationEditor(
+        MemoryTargetDB("MyDB", Tree.from_dict({"data": {}})), [source], store1
+    )
+    editor1.copy_paste("S/rec", "MyDB/data/rec")
+    editor1.commit()
+
+    store2 = make_store("N", ProvTable())
+    editor2 = CurationEditor(
+        MemoryTargetDB("Portal", Tree.from_dict({"data": {}})),
+        [MemorySourceDB("MyDB", editor1.target_tree())],
+        store2,
+    )
+    editor2.copy_paste("MyDB/data/rec", "Portal/data/rec")
+    editor2.commit()
+    return store1, store2
+
+
+class TestExportImport:
+    def test_document_shape(self):
+        store1, _store2 = curation_chain()
+        document = json.loads(export_provenance("MyDB", store1))
+        assert document["format"] == "cpdb-provenance"
+        assert document["database"] == "MyDB"
+        assert document["hierarchical"] is True
+        assert document["records"][0]["op"] == "C"
+
+    def test_roundtrip_preserves_records(self):
+        store1, _ = curation_chain()
+        name, imported = import_provenance(export_provenance("MyDB", store1))
+        assert name == "MyDB"
+        assert imported.records() == store1.records()
+        assert imported.hierarchical == store1.hierarchical
+        assert imported.last_tid == store1.last_tid
+
+    def test_imported_store_is_read_only(self):
+        store1, _ = curation_chain()
+        _, imported = import_provenance(export_provenance("MyDB", store1))
+        with pytest.raises(PermissionError):
+            imported.track_insert(None)
+        with pytest.raises(PermissionError):
+            imported.track_delete(None, None)
+        with pytest.raises(PermissionError):
+            imported.track_copy(None, None, None, None)
+
+    def test_queries_over_imported_store(self):
+        store1, _ = curation_chain()
+        _, imported = import_provenance(export_provenance("MyDB", store1))
+        queries = ProvenanceQueries(imported, target_name="MyDB")
+        assert queries.get_hist("MyDB/data/rec/v") == [1]
+
+    def test_bad_documents_rejected(self):
+        with pytest.raises(ValueError):
+            import_provenance(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            import_provenance(json.dumps({"format": "cpdb-provenance", "version": 99}))
+
+
+class TestNetworkFromPublished:
+    def test_own_over_exchanged_documents(self):
+        store1, store2 = curation_chain()
+        network = import_published([
+            export_provenance("MyDB", store1),
+            export_provenance("Portal", store2),
+        ])
+        segments = network.own("Portal/data/rec/v")
+        assert [segment.database for segment in segments] == ["Portal", "MyDB", "S"]
+        assert network.combined_hist("Portal/data/rec") == [
+            ("Portal", 1), ("MyDB", 1),
+        ]
+
+    def test_partial_network_gives_partial_answers(self):
+        """Without MyDB's published provenance the chain stops there —
+        the paper's point about incomplete answers."""
+        _store1, store2 = curation_chain()
+        network = import_published([export_provenance("Portal", store2)])
+        segments = network.own("Portal/data/rec/v")
+        assert [segment.database for segment in segments] == ["Portal", "MyDB"]
+        assert segments[-1].via == "origin"  # untracked: nothing more to say

@@ -1,0 +1,53 @@
+"""Tests for the figure renderers and experiment definitions."""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, scaled
+from repro.bench.report import format_table, render_table1
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("a", "bb"), [(1, 22), (333, 4)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # every row has equal width
+        assert len({len(line) for line in lines}) == 1
+        assert "333" in lines[2] or "333" in lines[3]
+
+    def test_header_separator(self):
+        table = format_table(("x",), [(9,)])
+        assert "-" in table.splitlines()[1]
+
+
+class TestScaled:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "10")
+        assert scaled(14000) == 1400
+        assert scaled(100) == 50  # floor
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert scaled(14000) == 14000
+
+    def test_custom_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        assert scaled(14000) == 7000
+
+
+class TestExperimentDefinitions:
+    def test_render_table1_contains_all_experiments(self):
+        table = render_table1()
+        for experiment in EXPERIMENTS:
+            assert str(experiment["length"]) in table
+        assert "query time" in table
+
+    def test_figures_covered(self):
+        figures = set()
+        for experiment in EXPERIMENTS:
+            figures.update(experiment["figures"])
+        assert figures == {"7", "8", "9", "10", "11", "12", "13"}

@@ -1,0 +1,239 @@
+"""Tests for the embedded relational engine: schema, codec, indexes, table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.codec import decode_row, decode_values, encode_row, encode_values
+from repro.storage.errors import (
+    ConstraintError,
+    DuplicateKeyError,
+    SchemaError,
+    UnknownColumnError,
+)
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.schema import Column, IndexSpec, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import ColumnType
+
+
+def prov_schema():
+    return TableSchema(
+        "prov",
+        [
+            Column("tid", ColumnType.INT, nullable=False),
+            Column("op", ColumnType.CHAR, nullable=False),
+            Column("loc", ColumnType.TEXT, nullable=False),
+            Column("src", ColumnType.TEXT),
+        ],
+        primary_key=("tid", "loc"),
+        indexes=(
+            IndexSpec("prov_tid", ("tid",)),
+            IndexSpec("prov_loc", ("loc",), ordered=True),
+        ),
+    )
+
+
+class TestTypes:
+    def test_parse_aliases(self):
+        assert ColumnType.parse("integer") is ColumnType.INT
+        assert ColumnType.parse("VARCHAR") is ColumnType.TEXT
+        assert ColumnType.parse("double") is ColumnType.REAL
+        with pytest.raises(SchemaError):
+            ColumnType.parse("BLOB")
+
+    def test_validation(self):
+        schema = prov_schema()
+        with pytest.raises(SchemaError):
+            schema.normalize_row((1, "CC", "a", None))  # CHAR must be length 1
+        with pytest.raises(SchemaError):
+            schema.normalize_row(("x", "C", "a", None))  # INT column
+        with pytest.raises(SchemaError):
+            schema.normalize_row((1, "C", None, None))  # NOT NULL
+
+    def test_int_real_coercion(self):
+        schema = TableSchema("t", [Column("x", ColumnType.REAL)])
+        assert schema.normalize_row((3,)) == (3.0,)
+
+    def test_bool_is_not_int(self):
+        schema = TableSchema("t", [Column("x", ColumnType.INT)])
+        with pytest.raises(SchemaError):
+            schema.normalize_row((True,))
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.INT), Column("a", ColumnType.INT)])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.INT)], primary_key=("b",))
+
+    def test_row_mapping_form(self):
+        schema = prov_schema()
+        row = schema.normalize_row({"tid": 1, "op": "C", "loc": "T/a", "src": "S/a"})
+        assert row == (1, "C", "T/a", "S/a")
+        with pytest.raises(UnknownColumnError):
+            schema.normalize_row({"tid": 1, "op": "C", "loc": "a", "zzz": 1})
+
+    def test_defaults(self):
+        schema = TableSchema(
+            "t", [Column("a", ColumnType.INT), Column("b", ColumnType.TEXT, default="x")]
+        )
+        assert schema.normalize_row({"a": 1}) == (1, "x")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            prov_schema().normalize_row((1, "C"))
+
+
+scalar_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.booleans(),
+)
+
+
+class TestCodec:
+    def test_roundtrip_simple(self):
+        schema = prov_schema()
+        row = (121, "C", "T/c1/y", "S1/a1/y")
+        assert decode_values(schema, encode_values(schema, row)) == row
+
+    def test_roundtrip_nulls(self):
+        schema = prov_schema()
+        row = (121, "D", "T/c5", None)
+        assert decode_values(schema, encode_values(schema, row)) == row
+
+    def test_length_prefixed(self):
+        schema = prov_schema()
+        row = (1, "I", "T/x", None)
+        data = encode_row(schema, row) + encode_row(schema, (2, "I", "T/y", None))
+        first, offset = decode_row(schema, data, 0)
+        second, end = decode_row(schema, data, offset)
+        assert first == row
+        assert second[0] == 2
+        assert end == len(data)
+
+    def test_unicode_char(self):
+        schema = TableSchema("t", [Column("c", ColumnType.CHAR)])
+        row = ("é",)
+        assert decode_values(schema, encode_values(schema, row)) == row
+
+    @given(st.lists(st.tuples(st.integers(-1000, 1000), st.text(max_size=10)), max_size=5))
+    def test_roundtrip_many(self, pairs):
+        schema = TableSchema(
+            "t", [Column("n", ColumnType.INT), Column("s", ColumnType.TEXT)]
+        )
+        for n, s in pairs:
+            assert decode_values(schema, encode_values(schema, (n, s))) == (n, s)
+
+    def test_row_bytes_matches_schema_estimate(self):
+        schema = prov_schema()
+        row = schema.normalize_row((121, "C", "T/c1/y", "S1/a1/y"))
+        # schema.row_bytes is the accounting estimate; the codec is real
+        assert abs(schema.row_bytes(row) - (4 + len(encode_values(schema, row)))) <= 8
+
+
+class TestIndexes:
+    def test_hash_index(self):
+        index = HashIndex("i")
+        index.insert((1,), 10)
+        index.insert((1,), 11)
+        assert index.lookup((1,)) == {10, 11}
+        index.delete((1,), 10)
+        assert index.lookup((1,)) == {11}
+        assert len(index) == 1
+
+    def test_unique_hash_index(self):
+        index = HashIndex("i", unique=True)
+        index.insert((1,), 10)
+        with pytest.raises(DuplicateKeyError):
+            index.insert((1,), 11)
+
+    def test_ordered_range(self):
+        index = OrderedIndex("i")
+        for value, rowid in ((3, 1), (1, 2), (2, 3), (5, 4)):
+            index.insert((value,), rowid)
+        assert list(index.range(low=(2,), high=(3,))) == [3, 1]
+        assert list(index.range(low=(4,))) == [4]
+        assert index.min_key() == (1,)
+        assert index.max_key() == (5,)
+
+    def test_ordered_prefix_scan(self):
+        index = OrderedIndex("i")
+        for text, rowid in (("T/a", 1), ("T/a/x", 2), ("T/ab", 3), ("T/b", 4)):
+            index.insert((text,), rowid)
+        assert set(index.prefix_scan("T/a")) == {1, 2, 3}
+        assert set(index.prefix_scan("T/a/")) == {2}
+
+
+class TestTable:
+    def test_insert_and_pk_lookup(self):
+        table = Table(prov_schema())
+        table.insert((1, "I", "T/a", None))
+        found = table.lookup_pk((1, "T/a"))
+        assert found is not None
+        assert found[1][1] == "I"
+
+    def test_pk_uniqueness(self):
+        table = Table(prov_schema())
+        table.insert((1, "I", "T/a", None))
+        with pytest.raises(DuplicateKeyError):
+            table.insert((1, "C", "T/a", "S/a"))
+        # the failed insert must not corrupt the table
+        assert table.row_count == 1
+        table.insert((2, "C", "T/a", "S/a"))
+        assert table.row_count == 2
+
+    def test_pk_null_rejected(self):
+        schema = TableSchema(
+            "t", [Column("k", ColumnType.INT), Column("v", ColumnType.TEXT)],
+            primary_key=("k",),
+        )
+        table = Table(schema)
+        with pytest.raises(ConstraintError):
+            table.insert((None, "x"))
+
+    def test_delete_maintains_indexes(self):
+        table = Table(prov_schema())
+        rowid = table.insert((1, "I", "T/a", None))
+        table.insert((2, "I", "T/b", None))
+        table.delete_row(rowid)
+        assert table.lookup_pk((1, "T/a")) is None
+        assert not list(table.lookup_index("prov_tid", (1,)))
+        assert table.row_count == 1
+
+    def test_update_row(self):
+        table = Table(prov_schema())
+        rowid = table.insert((1, "I", "T/a", None))
+        old, new = table.update_row(rowid, {"op": "C", "src": "S/a"})
+        assert old[1] == "I" and new[1] == "C"
+        assert table.get(rowid)[3] == "S/a"
+
+    def test_byte_accounting(self):
+        table = Table(prov_schema())
+        assert table.byte_size == 0
+        rowid = table.insert((1, "I", "T/a", None))
+        size = table.byte_size
+        assert size > 0
+        table.insert((2, "C", "T/b", "S/b"))
+        assert table.byte_size > size
+        table.delete_row(rowid)
+        table.delete_row(2)
+        assert table.byte_size == 0
+
+    def test_scan_in_insertion_order(self):
+        table = Table(prov_schema())
+        table.insert((3, "I", "T/c", None))
+        table.insert((1, "I", "T/a", None))
+        assert [row[0] for _rid, row in table.scan()] == [3, 1]
+
+    def test_create_index_backfills(self):
+        table = Table(prov_schema())
+        table.insert((1, "I", "T/a", None))
+        table.create_index(IndexSpec("by_op", ("op",)))
+        assert len(list(table.lookup_index("by_op", ("I",)))) == 1

@@ -1,0 +1,214 @@
+"""Tests for the query layer: planner access paths, SQL subset, joins,
+aggregates — and the property that every plan is equivalent to a full
+scan with post-filtering."""
+
+import pytest
+
+from repro.storage import (
+    And,
+    Cmp,
+    Col,
+    Const,
+    Database,
+    PrefixMatch,
+    Query,
+    SQLError,
+    TableRef,
+    execute_sql,
+)
+from repro.storage.plan import IndexEqScan, IndexPrefixScan, SeqScan, explain
+from repro.storage.query import JoinSpec
+
+
+@pytest.fixture
+def db():
+    database = Database("test")
+    execute_sql(
+        database,
+        "CREATE TABLE prov (tid INT NOT NULL, op CHAR NOT NULL, "
+        "loc TEXT NOT NULL, src TEXT, PRIMARY KEY (tid, loc))",
+    )
+    execute_sql(database, "CREATE INDEX prov_tid ON prov (tid)")
+    execute_sql(database, "CREATE ORDERED INDEX prov_loc ON prov (loc)")
+    execute_sql(
+        database,
+        "INSERT INTO prov VALUES "
+        "(121, 'D', 'T/c5', NULL), (122, 'C', 'T/c1/y', 'S1/a1/y'), "
+        "(123, 'I', 'T/c2', NULL), (124, 'C', 'T/c2', 'S1/a2'), "
+        "(124, 'C', 'T/c2/x', 'S1/a2/x')",
+    )
+    execute_sql(
+        database,
+        "CREATE TABLE txn (tid INT NOT NULL, who TEXT NOT NULL, PRIMARY KEY (tid))",
+    )
+    execute_sql(
+        database,
+        "INSERT INTO txn VALUES (121, 'alice'), (122, 'bob'), (123, 'alice'), (124, 'carol')",
+    )
+    return database
+
+
+class TestPlanner:
+    def test_equality_uses_index(self, db):
+        query = Query(
+            TableRef("prov"), where=Cmp("=", Col("tid"), Const(124)),
+        )
+        plan = db.plan(query)
+        assert "IndexEqScan" in explain(plan)
+        assert len(db.execute(query)) == 2
+
+    def test_prefix_uses_ordered_index(self, db):
+        query = Query(
+            TableRef("prov"), where=PrefixMatch(Col("loc"), "T/c2"),
+        )
+        plan = db.plan(query)
+        assert "IndexPrefixScan" in explain(plan)
+        assert len(db.execute(query)) == 3  # T/c2 (x2), T/c2/x
+
+    def test_no_index_falls_back_to_scan(self, db):
+        query = Query(TableRef("prov"), where=Cmp("=", Col("op"), Const("C")))
+        assert "SeqScan" in explain(db.plan(query))
+        assert len(db.execute(query)) == 3
+
+    def test_residual_filter_kept(self, db):
+        query = Query(
+            TableRef("prov"),
+            where=And(Cmp("=", Col("tid"), Const(124)), Cmp("=", Col("op"), Const("C"))),
+        )
+        rows = db.execute(query)
+        assert len(rows) == 2
+        assert all(row["op"] == "C" for row in rows)
+
+    def test_plans_match_seqscan_semantics(self, db):
+        """Every indexed plan returns the same rows as a full scan."""
+        predicates = [
+            Cmp("=", Col("tid"), Const(124)),
+            PrefixMatch(Col("loc"), "T/c"),
+            And(Cmp("=", Col("tid"), Const(121)), Cmp("=", Col("loc"), Const("T/c5"))),
+        ]
+        table = db.table("prov")
+        for predicate in predicates:
+            via_plan = db.execute(Query(TableRef("prov"), where=predicate))
+            via_scan = [
+                table.schema.row_as_dict(row)
+                for _rid, row in table.scan()
+                if predicate.eval(table.schema.row_as_dict(row))
+            ]
+            key = lambda r: sorted(r.items(), key=lambda kv: kv[0])
+            assert sorted(via_plan, key=key) == sorted(via_scan, key=key)
+
+
+class TestSQL:
+    def test_select_star_order_limit(self, db):
+        rows = execute_sql(db, "SELECT * FROM prov ORDER BY tid DESC, loc LIMIT 2")
+        assert [row["tid"] for row in rows] == [124, 124]
+        assert rows[0]["loc"] < rows[1]["loc"]
+
+    def test_select_columns_and_where(self, db):
+        rows = execute_sql(db, "SELECT loc, src FROM prov WHERE op = 'C' AND tid = 124")
+        assert sorted(row["loc"] for row in rows) == ["T/c2", "T/c2/x"]
+        assert set(rows[0]) == {"loc", "src"}
+
+    def test_like_prefix(self, db):
+        rows = execute_sql(db, "SELECT loc FROM prov WHERE loc LIKE 'T/c2%'")
+        assert len(rows) == 3
+
+    def test_like_non_prefix_rejected(self, db):
+        with pytest.raises(SQLError):
+            execute_sql(db, "SELECT * FROM prov WHERE loc LIKE '%c2'")
+
+    def test_is_null(self, db):
+        rows = execute_sql(db, "SELECT tid FROM prov WHERE src IS NULL")
+        assert sorted(row["tid"] for row in rows) == [121, 123]
+        rows = execute_sql(db, "SELECT tid FROM prov WHERE src IS NOT NULL")
+        assert len(rows) == 3
+
+    def test_in_list(self, db):
+        rows = execute_sql(db, "SELECT * FROM prov WHERE tid IN (121, 123)")
+        assert len(rows) == 2
+
+    def test_count_group_by(self, db):
+        rows = execute_sql(
+            db, "SELECT op, count(*) AS n FROM prov GROUP BY op ORDER BY op"
+        )
+        assert [(row["op"], row["n"]) for row in rows] == [("C", 3), ("D", 1), ("I", 1)]
+
+    def test_aggregates(self, db):
+        row = execute_sql(db, "SELECT min(tid) AS lo, max(tid) AS hi, avg(tid) AS mid FROM prov")[0]
+        assert row["lo"] == 121 and row["hi"] == 124
+        assert 121 < row["mid"] < 124
+
+    def test_join(self, db):
+        rows = execute_sql(
+            db,
+            "SELECT loc, who FROM prov p JOIN txn t ON p.tid = t.tid "
+            "WHERE who = 'carol'",
+        )
+        assert sorted(row["loc"] for row in rows) == ["T/c2", "T/c2/x"]
+
+    def test_distinct(self, db):
+        rows = execute_sql(db, "SELECT DISTINCT op FROM prov")
+        assert len(rows) == 3
+
+    def test_delete_where(self, db):
+        affected = execute_sql(db, "DELETE FROM prov WHERE tid = 124")[0]["affected"]
+        assert affected == 2
+        assert execute_sql(db, "SELECT count(*) AS n FROM prov")[0]["n"] == 3
+
+    def test_update(self, db):
+        execute_sql(db, "UPDATE txn SET who = 'dave' WHERE tid = 121")
+        rows = execute_sql(db, "SELECT who FROM txn WHERE tid = 121")
+        assert rows[0]["who"] == "dave"
+
+    def test_create_insert_select_fresh_table(self, db):
+        execute_sql(db, "CREATE TABLE note (id INT NOT NULL, body TEXT, PRIMARY KEY (id))")
+        execute_sql(db, "INSERT INTO note (id, body) VALUES (1, 'it''s fine')")
+        assert execute_sql(db, "SELECT body FROM note")[0]["body"] == "it's fine"
+
+    def test_drop_table(self, db):
+        execute_sql(db, "DROP TABLE txn")
+        assert not db.has_table("txn")
+
+    def test_syntax_errors(self, db):
+        for bad in (
+            "SELEKT * FROM prov",
+            "SELECT * FROM",
+            "SELECT * FROM prov WHERE",
+            "INSERT INTO prov",
+        ):
+            with pytest.raises(SQLError):
+                execute_sql(db, bad)
+
+    def test_having_filters_groups(self, db):
+        rows = execute_sql(
+            db,
+            "SELECT op, count(*) AS n FROM prov GROUP BY op HAVING n > 1 ORDER BY op",
+        )
+        assert [(row["op"], row["n"]) for row in rows] == [("C", 3)]
+
+    def test_having_with_comparison_to_group_key(self, db):
+        rows = execute_sql(
+            db, "SELECT op, count(*) AS n FROM prov GROUP BY op HAVING op = 'D'"
+        )
+        assert rows == [{"op": "D", "n": 1}]
+
+    def test_limit_offset_pagination(self, db):
+        page1 = execute_sql(db, "SELECT tid, loc FROM prov ORDER BY tid, loc LIMIT 2")
+        page2 = execute_sql(
+            db, "SELECT tid, loc FROM prov ORDER BY tid, loc LIMIT 2 OFFSET 2"
+        )
+        page3 = execute_sql(
+            db, "SELECT tid, loc FROM prov ORDER BY tid, loc LIMIT 2 OFFSET 4"
+        )
+        everything = execute_sql(db, "SELECT tid, loc FROM prov ORDER BY tid, loc")
+        assert page1 + page2 + page3 == everything
+        assert len(page3) == 1  # 5 rows total
+
+    def test_offset_requires_integer(self, db):
+        with pytest.raises(SQLError):
+            execute_sql(db, "SELECT * FROM prov LIMIT 2 OFFSET 'x'")
+
+    def test_null_comparisons_are_false(self, db):
+        rows = execute_sql(db, "SELECT * FROM prov WHERE src = 'S1/a2' OR src != 'S1/a2'")
+        # NULL src rows match neither side
+        assert len(rows) == 3

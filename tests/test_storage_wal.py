@@ -1,0 +1,167 @@
+"""Tests for transactions, the write-ahead log, and crash recovery.
+
+Also demonstrates the paper's Section 5 point: the WAL fully restores
+committed *state*, but contains no copy/paste sources — the information
+provenance records carry is simply not in the log.
+"""
+
+import os
+
+import pytest
+
+from repro.storage import Column, ColumnType, Database, TableSchema, TransactionError
+from repro.storage.wal import (
+    KIND_COMMIT,
+    KIND_INSERT,
+    WalRecord,
+    WriteAheadLog,
+    replay_committed,
+)
+
+
+def schema():
+    return TableSchema(
+        "prov",
+        [
+            Column("tid", ColumnType.INT, nullable=False),
+            Column("op", ColumnType.CHAR, nullable=False),
+            Column("loc", ColumnType.TEXT, nullable=False),
+            Column("src", ColumnType.TEXT),
+        ],
+        primary_key=("tid", "loc"),
+    )
+
+
+class TestTransactions:
+    def test_commit_persists(self):
+        db = Database("t")
+        db.create_table(schema())
+        db.begin()
+        db.insert("prov", (1, "I", "T/a", None))
+        db.commit()
+        assert db.table("prov").row_count == 1
+
+    def test_rollback_undoes_inserts(self):
+        db = Database("t")
+        db.create_table(schema())
+        db.begin()
+        db.insert("prov", (1, "I", "T/a", None))
+        db.insert("prov", (2, "I", "T/b", None))
+        db.rollback()
+        assert db.table("prov").row_count == 0
+
+    def test_rollback_undoes_deletes(self):
+        db = Database("t")
+        db.create_table(schema())
+        db.insert("prov", (1, "I", "T/a", None))
+        db.begin()
+        db.delete_where("prov")
+        assert db.table("prov").row_count == 0
+        db.rollback()
+        assert db.table("prov").row_count == 1
+        assert db.table("prov").lookup_pk((1, "T/a")) is not None
+
+    def test_nested_begin_rejected(self):
+        db = Database("t")
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+
+    def test_commit_without_begin_rejected(self):
+        db = Database("t")
+        with pytest.raises(TransactionError):
+            db.commit()
+
+    def test_autocommit_rolls_back_failed_statement(self):
+        db = Database("t")
+        db.create_table(schema())
+        db.insert("prov", (1, "I", "T/a", None))
+        with pytest.raises(Exception):
+            db.insert("prov", (1, "X", "T/a", None))  # bad op char
+        assert not db.in_transaction
+
+
+class TestWAL:
+    def test_record_roundtrip(self, tmp_path):
+        schemas = {"prov": schema()}
+        log = WriteAheadLog(str(tmp_path / "w.wal"), schemas)
+        log.append(WalRecord(KIND_INSERT, 5, "prov", (1, "C", "T/a", "S/a")))
+        log.append(WalRecord(KIND_COMMIT, 5))
+        log.close()
+        records = list(log.records())
+        assert len(records) == 2
+        assert records[0].row == (1, "C", "T/a", "S/a")
+        assert records[1].kind_name == "COMMIT"
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        schemas = {"prov": schema()}
+        path = str(tmp_path / "w.wal")
+        log = WriteAheadLog(path, schemas)
+        log.append(WalRecord(KIND_INSERT, 1, "prov", (1, "I", "T/a", None)))
+        log.close()
+        with open(path, "ab") as handle:
+            handle.write(b"\x40\x00\x00\x00partial")  # truncated record
+        assert len(list(log.records())) == 1
+
+    def test_replay_skips_uncommitted(self, tmp_path):
+        db = Database("t", wal_dir=str(tmp_path))
+        db.create_table(schema())
+        db.begin()
+        db.insert("prov", (1, "I", "T/a", None))
+        db.commit()
+        db.begin()
+        db.insert("prov", (2, "I", "T/b", None))  # never committed
+        committed = list(replay_committed(db._wal))
+        assert len(committed) == 1
+
+
+class TestCrashRecovery:
+    def test_recovery_restores_committed_state(self, tmp_path):
+        db = Database("t", wal_dir=str(tmp_path))
+        db.create_table(schema())
+        db.begin()
+        db.insert("prov", (1, "C", "T/a", "S1/a"))
+        db.insert("prov", (2, "I", "T/b", None))
+        db.commit()
+        db.begin()
+        db.delete_where("prov", None)  # delete all, but crash before commit
+        db.crash()
+
+        assert db.table("prov").row_count == 0  # memory gone
+        replayed = db.recover()
+        assert replayed == 1
+        assert db.table("prov").row_count == 2
+        assert db.table("prov").lookup_pk((1, "T/a")) is not None
+
+    def test_recovery_applies_committed_deletes(self, tmp_path):
+        db = Database("t", wal_dir=str(tmp_path))
+        db.create_table(schema())
+        db.insert("prov", (1, "I", "T/a", None))
+        db.insert("prov", (2, "I", "T/b", None))
+        db.begin()
+        db.delete_where("prov", None)
+        db.commit()
+        db.crash()
+        db.recover()
+        assert db.table("prov").row_count == 0
+
+    def test_recovery_requires_wal(self):
+        db = Database("t")
+        with pytest.raises(TransactionError):
+            db.recover()
+
+    def test_log_lacks_provenance_information(self, tmp_path):
+        """Section 5: a transaction log records *what rows changed*, not
+        where copied data came from.  After recovery, the only way to
+        know T/a was copied from S1/a is the provenance row itself —
+        the WAL records carry no cross-database source field."""
+        db = Database("t", wal_dir=str(tmp_path))
+        db.create_table(schema())
+        db.begin()
+        db.insert("prov", (1, "C", "T/a", "S1/a"))
+        db.commit()
+        kinds = {record.kind_name for record in db._wal.records()}
+        assert kinds == {"BEGIN", "INSERT", "COMMIT"}
+        # WAL rows are opaque tuples tied to tables; no update semantics
+        for record in db._wal.records():
+            assert not hasattr(record, "copy_source")

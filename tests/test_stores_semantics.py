@@ -1,0 +1,334 @@
+"""Semantic tests of the four storage strategies beyond the paper's
+worked example: overwrites, resurrection, temporary data, composed
+intra-transaction copies, storage bounds — plus property tests over
+random scripts.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.editor import CurationEditor
+from repro.core.paths import Path
+from repro.core.provenance import OP_COPY, OP_DELETE, OP_INSERT, ProvRecord, ProvTable
+from repro.core.stores import make_store
+from repro.core.tree import Tree
+from repro.core.updates import Copy, Delete, Insert, Workspace, apply_sequence
+from repro.wrappers.memory import MemorySourceDB, MemoryTargetDB
+
+from .strategies import SOURCE_NAME, TARGET_NAME, scripts
+
+
+def editor_for(method, target=None, source=None, **kwargs):
+    store = make_store(method, ProvTable(), **kwargs)
+    return CurationEditor(
+        target=MemoryTargetDB("T", Tree.from_dict(target or {})),
+        sources=[MemorySourceDB("S", Tree.from_dict(
+            source if source is not None else {"a": {"x": 1, "y": 2}, "b": {"z": 3}}
+        ))],
+        store=store,
+    )
+
+
+def recs(editor):
+    return {(r.tid, r.op, str(r.loc), str(r.src) if r.src else None)
+            for r in editor.store.records()}
+
+
+class TestTransactionalNetEffect:
+    def test_temporary_data_leaves_no_trace(self):
+        """Copy from S, delete it, copy something else: same provenance
+        as only copying the second thing (the paper's motivating case)."""
+        editor = editor_for("T")
+        editor.copy_paste("S/a", "T/item")
+        editor.delete("T/item")
+        editor.copy_paste("S/b", "T/item")
+        editor.commit()
+        assert recs(editor) == {
+            (1, "C", "T/item", "S/b"),
+            (1, "C", "T/item/z", "S/b/z"),
+        }
+
+    def test_insert_then_delete_cancels(self):
+        editor = editor_for("T")
+        editor.insert("T", "tmp")
+        editor.insert("T/tmp", "v", 5)
+        editor.delete("T/tmp")
+        editor.commit()
+        assert editor.store.row_count == 0
+
+    def test_delete_of_preexisting_data_is_net(self):
+        editor = editor_for("T", target={"old": {"x": 1}})
+        editor.delete("T/old")
+        editor.commit()
+        assert recs(editor) == {
+            (1, "D", "T/old", None),
+            (1, "D", "T/old/x", None),
+        }
+
+    def test_overwrite_of_preexisting_records_only_copies(self):
+        """Copy over existing data: the location nets to C.  Overwritten
+        input data leaves no D records — Figure 5(a)'s precedent (step 6
+        overwrites the node from step 5 and records only the copy), and
+        the reading under which the paper's storage bounds hold."""
+        editor = editor_for("T", target={"item": {"x": 1, "extra": 2}},
+                            source={"a": {"x": 9}})
+        editor.copy_paste("S/a", "T/item")
+        editor.commit()
+        assert recs(editor) == {
+            (1, "C", "T/item", "S/a"),
+            (1, "C", "T/item/x", "S/a/x"),
+        }
+
+    def test_resurrection_nets_to_new_origin(self):
+        """Delete pre-existing data, then re-create the location: the
+        {Tid, Loc} key holds one record describing the new origin."""
+        editor = editor_for("T", target={"item": {"x": 1}})
+        editor.delete("T/item")
+        editor.insert("T", "item")
+        editor.commit()
+        table = {(r.op, str(r.loc)) for r in editor.store.records()}
+        assert ("I", "T/item") in table
+        assert ("D", "T/item") not in table
+        assert ("D", "T/item/x") in table  # the old child stayed dead
+
+    def test_intra_transaction_copy_chain_composes(self):
+        """T/b copied from T/a which was itself copied from S this
+        transaction: the net link points at S (T/a did not exist in the
+        transaction's input)."""
+        editor = editor_for("T")
+        editor.copy_paste("S/a", "T/first")
+        editor.copy_paste("T/first", "T/second")
+        editor.commit()
+        table = recs(editor)
+        assert (1, "C", "T/second", "S/a") in table
+        assert (1, "C", "T/second/x", "S/a/x") in table
+
+    def test_copy_of_unchanged_target_data_keeps_location(self):
+        """Copying target data untouched this transaction refers to its
+        location in the previous version."""
+        editor = editor_for("T", target={"old": {"x": 1}})
+        editor.copy_paste("T/old", "T/new")
+        editor.commit()
+        assert (1, "C", "T/new", "T/old") in recs(editor)
+
+    def test_multiple_transactions_get_distinct_tids(self):
+        editor = editor_for("T")
+        editor.copy_paste("S/a", "T/one")
+        editor.commit()
+        editor.copy_paste("S/b", "T/two")
+        editor.commit()
+        tids = {record.tid for record in editor.store.records()}
+        assert tids == {1, 2}
+
+    def test_empty_commit_advances_epoch(self):
+        editor = editor_for("T")
+        editor.commit()
+        editor.copy_paste("S/a", "T/one")
+        editor.commit()
+        assert {record.tid for record in editor.store.records()} == {2}
+
+
+class TestHierarchicalTransactional:
+    def test_root_only_records(self):
+        editor = editor_for("HT")
+        editor.copy_paste("S/a", "T/item")
+        editor.commit()
+        assert recs(editor) == {(1, "C", "T/item", "S/a")}
+
+    def test_delete_regions_compressed(self):
+        editor = editor_for("HT", target={"big": {"x": 1, "sub": {"y": 2}}})
+        editor.delete("T/big")
+        editor.commit()
+        assert recs(editor) == {(1, "D", "T/big", None)}
+
+    def test_dead_region_under_resurrected_node_is_explicit(self):
+        """If a deleted node is re-created, still-dead children need their
+        own D records (the new I record blocks D-inheritance)."""
+        editor = editor_for("HT", target={"item": {"x": 1}})
+        editor.delete("T/item")
+        editor.insert("T", "item")
+        editor.commit()
+        table = recs(editor)
+        assert (1, "I", "T/item", None) in table
+        assert (1, "D", "T/item/x", None) in table
+
+    def test_overwrite_stores_single_copy_record(self):
+        editor = editor_for("HT", target={"item": {"x": 1, "extra": 2}},
+                            source={"a": {"x": 9}})
+        editor.copy_paste("S/a", "T/item")
+        editor.commit()
+        assert recs(editor) == {(1, "C", "T/item", "S/a")}
+
+    def test_nested_copy_keeps_outer_record(self):
+        """Overwriting inside an earlier copy keeps the outer record and
+        adds an inner one that blocks inference below it."""
+        editor = editor_for("HT")
+        editor.copy_paste("S/a", "T/item")       # {x:1, y:2}
+        editor.copy_paste("S/b/z", "T/item/y")   # overwrite a leaf inside
+        editor.commit()
+        assert recs(editor) == {
+            (1, "C", "T/item", "S/a"),
+            (1, "C", "T/item/y", "S/b/z"),
+        }
+
+    def test_redundant_link_pruning(self):
+        """Section 3.2.4: copy S/a to T/a then copy S/a/x to T/a/x leaves
+        an inferable (redundant) second link; pruning removes it."""
+        plain = editor_for("HT")
+        plain.copy_paste("S/a", "T/a")
+        plain.copy_paste("S/a/x", "T/a/x")
+        plain.commit()
+        assert (1, "C", "T/a/x", "S/a/x") in recs(plain)  # kept by default
+
+        pruning = editor_for("HT", prune_redundant=True)
+        pruning.copy_paste("S/a", "T/a")
+        pruning.copy_paste("S/a/x", "T/a/x")
+        pruning.commit()
+        assert recs(pruning) == {(1, "C", "T/a", "S/a")}
+
+    def test_pruning_keeps_non_redundant_links(self):
+        pruning = editor_for("HT", prune_redundant=True)
+        pruning.copy_paste("S/a", "T/a")
+        pruning.copy_paste("S/b/z", "T/a/x")  # different source: not inferable
+        pruning.commit()
+        assert len(recs(pruning)) == 2
+
+
+class TestHierarchicalPerOp:
+    def test_one_record_per_operation(self):
+        editor = editor_for("H", target={"big": {"x": 1, "y": {"z": 2}}})
+        editor.copy_paste("S/a", "T/new")
+        editor.delete("T/big")
+        editor.insert("T", "n", 5)
+        assert editor.store.row_count == 3
+
+    def test_tid_advances_per_operation(self):
+        editor = editor_for("H")
+        editor.copy_paste("S/a", "T/one")
+        editor.copy_paste("S/b", "T/two")
+        assert [record.tid for record in editor.store.records()] == [1, 2]
+
+
+class TestStorageBounds:
+    @settings(max_examples=40, deadline=None)
+    @given(scripts(max_ops=10))
+    def test_bounds_hold_for_random_scripts(self, drawn):
+        """|HProv| <= |U|;  |HT| <= min(|U|, |T|);  naive >= all."""
+        initial, ops = drawn
+        editors = {}
+        for method in ("N", "H", "T", "HT"):
+            store = make_store(method, ProvTable())
+            editor = CurationEditor(
+                target=MemoryTargetDB(
+                    TARGET_NAME, initial.roots[TARGET_NAME].deep_copy()
+                ),
+                sources=[MemorySourceDB(
+                    SOURCE_NAME, initial.roots[SOURCE_NAME].deep_copy()
+                )],
+                store=store,
+            )
+            for op in ops:
+                editor.apply(op)
+            editor.commit()
+            editors[method] = editor
+
+        rows = {method: editor.store.row_count for method, editor in editors.items()}
+        assert rows["H"] <= len(ops)
+        assert rows["HT"] <= rows["T"]
+        assert rows["H"] <= rows["N"]
+
+        # HT's |U| bound holds for non-nested records; copies of regions
+        # mixing origins (nodes inserted earlier in the same transaction)
+        # legitimately need nested extra links (see hier_trans docstring)
+        ht_records = editors["HT"].store.records()
+        locs_by_tid = {}
+        for record in ht_records:
+            locs_by_tid.setdefault(record.tid, set()).add(record.loc)
+        nested = sum(
+            1
+            for record in ht_records
+            if any(
+                ancestor in locs_by_tid[record.tid]
+                for ancestor in record.loc.ancestors()
+            )
+        )
+        assert len(ht_records) - nested <= len(ops)
+
+    @settings(max_examples=40, deadline=None)
+    @given(scripts(max_ops=10))
+    def test_transactional_matches_iplusdplusc(self, drawn):
+        """T's storage is i + d + c: inserted nodes in the output, nodes
+        deleted from the input, copied nodes in the output — computed
+        independently from the records themselves."""
+        initial, ops = drawn
+        store = make_store("T", ProvTable())
+        editor = CurationEditor(
+            target=MemoryTargetDB(TARGET_NAME, initial.roots[TARGET_NAME].deep_copy()),
+            sources=[MemorySourceDB(SOURCE_NAME, initial.roots[SOURCE_NAME])],
+            store=store,
+        )
+        for op in ops:
+            editor.apply(op)
+        editor.commit()
+
+        records = editor.store.records()
+        by_op = {}
+        for record in records:
+            by_op.setdefault(record.op, set()).add(record.loc)
+        inserted = by_op.get(OP_INSERT, set())
+        deleted = by_op.get(OP_DELETE, set())
+        copied = by_op.get(OP_COPY, set())
+
+        final = editor.target_tree()
+        start = initial.roots[TARGET_NAME]
+        # every I/C record describes a node present in the output
+        for loc in inserted | copied:
+            assert final.contains_path(loc.tail), loc
+        # every D record describes an input node absent (as itself) now
+        for loc in deleted:
+            assert start.contains_path(loc.tail), loc
+        # {tid, loc} is a key: one record per location
+        assert len(records) == len({(r.tid, r.loc) for r in records})
+
+
+class TestNaiveLosslessness:
+    @settings(max_examples=40, deadline=None)
+    @given(scripts(max_ops=10))
+    def test_script_recoverable_from_naive_table(self, drawn):
+        """Section 2.1.1: the exact update operation sequence can be
+        recovered from the naive provenance table (up to inserted
+        values, which provenance does not store)."""
+        initial, ops = drawn
+        store = make_store("N", ProvTable())
+        editor = CurationEditor(
+            target=MemoryTargetDB(TARGET_NAME, initial.roots[TARGET_NAME].deep_copy()),
+            sources=[MemorySourceDB(SOURCE_NAME, initial.roots[SOURCE_NAME])],
+            store=store,
+        )
+        for op in ops:
+            editor.apply(op)
+
+        by_tid = {}
+        for record in editor.store.records():
+            by_tid.setdefault(record.tid, []).append(record)
+
+        recovered = []
+        for tid in sorted(by_tid):
+            group = by_tid[tid]
+            root = min(group, key=lambda record: len(record.loc))
+            if root.op == OP_INSERT:
+                recovered.append(("ins", root.loc))
+            elif root.op == OP_DELETE:
+                recovered.append(("del", root.loc))
+            else:
+                recovered.append(("copy", root.src, root.loc))
+
+        expected = []
+        for op in ops:
+            if isinstance(op, Insert):
+                expected.append(("ins", op.path.child(op.label)))
+            elif isinstance(op, Delete):
+                expected.append(("del", op.path.child(op.label)))
+            else:
+                expected.append(("copy", op.src, op.dst))
+        assert recovered == expected

@@ -1,0 +1,95 @@
+"""Tests for transaction metadata and the who-modified query."""
+
+import pytest
+
+from repro import (
+    CurationEditor,
+    MemorySourceDB,
+    MemoryTargetDB,
+    ProvTable,
+    ProvenanceQueries,
+    Tree,
+    make_store,
+)
+from repro.core.txnlog import TransactionLog, who_modified
+
+
+def editor_for(user, store, log):
+    return CurationEditor(
+        target=MemoryTargetDB("T", Tree.from_dict({"area": {}})),
+        sources=[MemorySourceDB("S", Tree.from_dict({"rec": {"v": 1}}))],
+        store=store,
+        txn_log=log,
+        user=user,
+    )
+
+
+@pytest.fixture
+def session():
+    store = make_store("T", ProvTable())
+    log = TransactionLog(store.table)
+    alice = editor_for("alice", store, log)
+    alice.copy_paste("S/rec", "T/area/rec")
+    alice.commit(note="initial import")
+
+    bob = CurationEditor(
+        target=alice.target,  # same curated database, different curator
+        sources=alice.sources,
+        store=store,
+        txn_log=log,
+        user="bob",
+    )
+    bob.insert("T/area/rec", "note", "reviewed")
+    bob.commit()
+    alice.delete("T/area/rec/v")
+    alice.commit()
+    return store, log
+
+
+class TestTransactionLog:
+    def test_metadata_recorded(self, session):
+        store, log = session
+        infos = log.all_transactions()
+        assert [(info.tid, info.user) for info in infos] == [
+            (1, "alice"), (2, "bob"), (3, "alice"),
+        ]
+        assert infos[0].note == "initial import"
+        assert infos[1].note is None
+
+    def test_commit_times_monotone(self, session):
+        _store, log = session
+        times = [info.committed_ms for info in log.all_transactions()]
+        assert times == sorted(times)
+
+    def test_by_user(self, session):
+        _store, log = session
+        assert [info.tid for info in log.by_user("alice")] == [1, 3]
+        assert [info.tid for info in log.by_user("carol")] == []
+
+    def test_missing_tid(self, session):
+        _store, log = session
+        assert log.info(99) is None
+
+    def test_shares_the_provenance_database(self, session):
+        store, log = session
+        # one database holds both relations, as in CPDB
+        assert log.db is store.table.db
+        assert store.table.db.has_table("txn")
+        assert store.table.db.has_table("prov")
+
+
+class TestWhoModified:
+    def test_users_joined_with_mod(self, session):
+        store, log = session
+        queries = ProvenanceQueries(store)
+        result = who_modified(queries, log, "T/area/rec")
+        assert result == {"alice": {1, 3}, "bob": {2}}
+
+    def test_untracked_transaction_reported_unknown(self):
+        store = make_store("N", ProvTable())
+        log = TransactionLog(store.table)
+        editor = editor_for("alice", store, log)  # N: per-op tids, no commits
+        editor.copy_paste("S/rec", "T/area/rec")
+        queries = ProvenanceQueries(store)
+        result = who_modified(queries, log, "T/area/rec")
+        assert result == {"<unknown>": {1}}

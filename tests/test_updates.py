@@ -1,0 +1,201 @@
+"""Tests for the update language: parsing, semantics, failure conditions."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.paths import Path
+from repro.core.tree import Tree
+from repro.core.updates import (
+    Copy,
+    Delete,
+    Insert,
+    UpdateError,
+    Workspace,
+    apply_sequence,
+    apply_update,
+    format_update,
+    parse_script,
+    parse_update,
+)
+
+from .strategies import scripts
+
+
+def ws(target=None, s1=None):
+    return Workspace(
+        {
+            "T": Tree.from_dict(target if target is not None else {}),
+            "S1": Tree.from_dict(s1 if s1 is not None else {"a": {"x": 1}}),
+        },
+        target="T",
+    )
+
+
+class TestParser:
+    def test_parse_insert_empty(self):
+        assert parse_update("insert {c2 : {}} into T") == Insert(
+            "c2", None, Path.parse("T")
+        )
+
+    def test_parse_insert_value(self):
+        assert parse_update("ins {y : 12} into T/c4") == Insert(
+            "y", 12, Path.parse("T/c4")
+        )
+
+    def test_parse_insert_string_value(self):
+        assert parse_update('ins {n : "hi there"} into T').value == "hi there"
+        assert parse_update("ins {n : 'x'} into T").value == "x"
+        assert parse_update("ins {n : bare} into T").value == "bare"
+        assert parse_update("ins {n : true} into T").value is True
+        assert parse_update("ins {n : 1.5} into T").value == 1.5
+
+    def test_parse_delete(self):
+        assert parse_update("del c5 from T") == Delete("c5", Path.parse("T"))
+        assert parse_update("delete c5 from T;") == Delete("c5", Path.parse("T"))
+
+    def test_parse_copy(self):
+        assert parse_update("copy S1/a1/y into T/c1/y") == Copy(
+            Path.parse("S1/a1/y"), Path.parse("T/c1/y")
+        )
+
+    def test_parse_garbage_fails(self):
+        with pytest.raises(UpdateError):
+            parse_update("frobnicate T")
+
+    def test_parse_script_with_numbers_and_comments(self):
+        text = """
+        # a comment
+        (1) del a from T;
+        -- another comment
+        (2) copy S1/a into T/b;
+        """
+        script = parse_script(text)
+        assert len(script) == 2
+        assert isinstance(script[0], Delete)
+        assert isinstance(script[1], Copy)
+
+    def test_format_parse_roundtrip(self):
+        for text in (
+            "ins {a : 3} into T/x",
+            'ins {a : "s"} into T',
+            "ins {a : {}} into T",
+            "del a from T/x",
+            "copy S1/a into T/b",
+            "ins {a : true} into T",
+        ):
+            update = parse_update(text)
+            assert parse_update(format_update(update)) == update
+
+
+class TestSemantics:
+    def test_insert_empty_then_value(self):
+        workspace = ws({})
+        apply_update(workspace, parse_update("ins {c : {}} into T"))
+        apply_update(workspace, parse_update("ins {y : 5} into T/c"))
+        assert workspace.target_tree().to_dict() == {"c": {"y": 5}}
+
+    def test_insert_duplicate_edge_fails(self):
+        workspace = ws({"c": {}})
+        with pytest.raises(UpdateError):
+            apply_update(workspace, parse_update("ins {c : {}} into T"))
+
+    def test_insert_into_missing_path_fails(self):
+        workspace = ws({})
+        with pytest.raises(UpdateError):
+            apply_update(workspace, parse_update("ins {x : 1} into T/nope"))
+
+    def test_delete(self):
+        workspace = ws({"c": {"y": 5}})
+        apply_update(workspace, parse_update("del y from T/c"))
+        assert workspace.target_tree().to_dict() == {"c": {}}
+
+    def test_delete_missing_fails(self):
+        workspace = ws({})
+        with pytest.raises(UpdateError):
+            apply_update(workspace, parse_update("del zzz from T"))
+
+    def test_copy_replaces(self):
+        workspace = ws({"c": {"old": 1}})
+        apply_update(workspace, parse_update("copy S1/a into T/c"))
+        assert workspace.target_tree().to_dict() == {"c": {"x": 1}}
+
+    def test_copy_creates_fresh_edge(self):
+        # Figure 3 step (7): copy into a path that does not exist yet
+        workspace = ws({})
+        apply_update(workspace, parse_update("copy S1/a into T/c3"))
+        assert workspace.target_tree().to_dict() == {"c3": {"x": 1}}
+
+    def test_copy_missing_parent_fails(self):
+        workspace = ws({})
+        with pytest.raises(UpdateError):
+            apply_update(workspace, parse_update("copy S1/a into T/no/where"))
+
+    def test_copy_missing_source_fails(self):
+        workspace = ws({})
+        with pytest.raises(UpdateError):
+            apply_update(workspace, parse_update("copy S1/zzz into T/c"))
+
+    def test_copy_is_deep(self):
+        workspace = ws({})
+        apply_update(workspace, parse_update("copy S1/a into T/c"))
+        workspace.target_tree().resolve("c").add_child("extra", Tree.leaf(1))
+        assert not workspace.roots["S1"].contains_path("a/extra")
+
+    def test_copy_within_target(self):
+        workspace = ws({"c": {"x": 9}})
+        apply_update(workspace, parse_update("copy T/c into T/d"))
+        assert workspace.target_tree().to_dict() == {"c": {"x": 9}, "d": {"x": 9}}
+
+    def test_updates_only_touch_target(self):
+        workspace = ws({})
+        with pytest.raises(UpdateError):
+            apply_update(workspace, parse_update("ins {x : 1} into S1"))
+        with pytest.raises(UpdateError):
+            apply_update(workspace, parse_update("del a from S1"))
+        with pytest.raises(UpdateError):
+            apply_update(workspace, parse_update("copy S1/a into S1/b"))
+
+    def test_unknown_database_fails(self):
+        workspace = ws({})
+        with pytest.raises(UpdateError):
+            apply_update(workspace, parse_update("copy S9/a into T/c"))
+
+    def test_sequence_composition(self):
+        workspace = ws({})
+        apply_sequence(
+            workspace,
+            parse_script("ins {c : {}} into T; copy S1/a into T/c; del x from T/c"),
+        )
+        assert workspace.target_tree().to_dict() == {"c": {}}
+
+
+class TestWorkspace:
+    def test_requires_target_root(self):
+        with pytest.raises(UpdateError):
+            Workspace({"S": Tree.empty()}, target="T")
+
+    def test_snapshot_is_deep(self):
+        workspace = ws({"c": {}})
+        snapshot = workspace.snapshot()
+        apply_update(workspace, parse_update("ins {x : 1} into T/c"))
+        assert not snapshot.target_tree().contains_path("c/x")
+
+    def test_resolve_absolute(self):
+        workspace = ws({}, s1={"a": {"x": 3}})
+        assert workspace.resolve("S1/a/x").value == 3
+        assert workspace.contains_path("S1/a")
+        assert not workspace.contains_path("S1/zzz")
+        assert not workspace.contains_path("Q/a")
+
+
+class TestScriptProperty:
+    @given(scripts())
+    def test_generated_scripts_apply_cleanly(self, drawn):
+        initial, ops = drawn
+        apply_sequence(initial, ops)  # must not raise
+
+    @given(scripts())
+    def test_script_format_roundtrip(self, drawn):
+        _initial, ops = drawn
+        for op in ops:
+            assert parse_update(format_update(op)) == op

@@ -1,0 +1,152 @@
+"""Tests for the workload layer: synthetic generators, the Table 2/3
+pattern generators (validity, determinism, composition), and the runner."""
+
+import pytest
+
+from repro.core.updates import Copy, Delete, Insert
+from repro.workloads.patterns import (
+    DELETION_POLICIES,
+    UPDATE_PATTERNS,
+    PatternGenerator,
+    generate_pattern,
+)
+from repro.workloads.runner import build_curation_setup, generate_script, run_updates
+from repro.workloads.synth import (
+    mimi_like_tree,
+    organelledb_like,
+    source_subtree_paths,
+)
+
+
+class TestSynth:
+    def test_source_rows_are_size_four_subtrees(self):
+        db = organelledb_like(n_proteins=50, seed=1)
+        paths = source_subtree_paths(db)
+        assert len(paths) == 50
+        from repro.wrappers.relational import RelationalSourceDB
+
+        wrapper = RelationalSourceDB("S", db)
+        subtree = wrapper.copy_node(paths[0])
+        assert subtree.node_count() == 4  # parent with three children
+
+    def test_target_shape(self):
+        tree = mimi_like_tree(n_molecules=20, seed=2)
+        assert tree.contains_path("molecules")
+        assert tree.contains_path("imports")
+        molecules = tree.resolve("molecules")
+        assert len(molecules.children) == 20
+        one = next(iter(molecules.children.values()))
+        assert one.has_child("name")
+        assert one.has_child("interactions")
+
+    def test_determinism(self):
+        assert organelledb_like(50, seed=9).table("protein").row_count == 50
+        assert mimi_like_tree(10, seed=3) == mimi_like_tree(10, seed=3)
+        assert mimi_like_tree(10, seed=3) != mimi_like_tree(10, seed=4)
+
+
+def pattern_setup(n=30):
+    db = organelledb_like(n_proteins=n, seed=5)
+    initial = mimi_like_tree(n_molecules=10, seed=6)
+    return initial, source_subtree_paths(db)
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("pattern", UPDATE_PATTERNS)
+    def test_scripts_apply_cleanly(self, pattern):
+        """Every generated script must replay without error against a
+        real editor (the generator's shadow must stay consistent)."""
+        initial, subtrees = pattern_setup()
+        script = generate_pattern(pattern, 60, initial, subtrees, seed=1)
+        assert len(script) == 60
+        setup = build_curation_setup("N", n_proteins=30, n_molecules=10, seed=5)
+        result = run_updates(setup, script, txn_length=5)
+        assert result.steps == 60
+
+    @pytest.mark.parametrize("policy", DELETION_POLICIES)
+    def test_deletion_policies_apply_cleanly(self, policy):
+        initial, subtrees = pattern_setup()
+        script = generate_pattern(
+            "mix", 60, initial, subtrees, seed=2, deletion_policy=policy
+        )
+        setup = build_curation_setup("HT", n_proteins=30, n_molecules=10, seed=5)
+        run_updates(setup, script, txn_length=5)
+
+    def test_determinism(self):
+        initial, subtrees = pattern_setup()
+        a = generate_pattern("mix", 40, initial, subtrees, seed=3)
+        b = generate_pattern("mix", 40, initial, subtrees, seed=3)
+        assert a == b
+        c = generate_pattern("mix", 40, initial, subtrees, seed=4)
+        assert a != c
+
+    def test_pattern_composition(self):
+        initial, subtrees = pattern_setup()
+        kinds = {
+            "add": (Insert,),
+            "copy": (Copy,),
+            "ac-mix": (Insert, Copy),
+        }
+        for pattern, allowed in kinds.items():
+            script = generate_pattern(pattern, 50, initial, subtrees, seed=1)
+            assert all(isinstance(op, allowed) for op in script), pattern
+
+    def test_real_pattern_cycle(self):
+        initial, subtrees = pattern_setup()
+        script = generate_pattern("real", 14, initial, subtrees, seed=1)
+        # each 7-op cycle: 1 copy, 3 adds, 3 deletes
+        for base in (0, 7):
+            cycle = script[base : base + 7]
+            assert isinstance(cycle[0], Copy)
+            assert all(isinstance(op, Insert) for op in cycle[1:4])
+            assert all(isinstance(op, Delete) for op in cycle[4:7])
+
+    def test_del_add_policy_targets_added_nodes(self):
+        initial, subtrees = pattern_setup()
+        generator = PatternGenerator(
+            initial, subtrees, seed=1, deletion_policy="del-add"
+        )
+        script = generator.generate("mix", 80)
+        added = set()
+        for op in script:
+            if isinstance(op, Insert):
+                added.add(op.path.child(op.label))
+            elif isinstance(op, Delete):
+                assert op.path.child(op.label) in added
+                added.discard(op.path.child(op.label))
+
+    def test_unknown_pattern_rejected(self):
+        initial, subtrees = pattern_setup()
+        with pytest.raises(ValueError):
+            generate_pattern("zigzag", 10, initial, subtrees)
+        with pytest.raises(ValueError):
+            PatternGenerator(initial, subtrees, deletion_policy="del-everything")
+
+
+class TestRunner:
+    def test_same_script_all_methods(self):
+        script = generate_script("mix", 50, seed=9, n_proteins=30, n_molecules=10)
+        rows = {}
+        for method in ("N", "H", "T", "HT"):
+            setup = build_curation_setup(
+                method, n_proteins=30, n_molecules=10, seed=9
+            )
+            result = run_updates(setup, script, txn_length=5)
+            rows[method] = result.prov_rows
+            # the same final target state regardless of tracking method
+            assert result.target_nodes == rows.get("_nodes", result.target_nodes)
+            rows["_nodes"] = result.target_nodes
+        assert rows["H"] <= rows["N"]
+        assert rows["HT"] <= rows["T"]
+
+    def test_result_measurements_populated(self):
+        setup = build_curation_setup("HT", n_proteins=30, n_molecules=10, seed=9)
+        script = generate_script("real", 28, seed=9, n_proteins=30, n_molecules=10)
+        result = run_updates(setup, script, txn_length=7)
+        assert result.prov_rows > 0
+        assert result.prov_bytes > 0
+        assert result.avg_ms["target.update"] > 0
+        assert result.op_counts["copy"] == 4
+        assert result.op_counts["add"] == 12
+        assert result.op_counts["delete"] == 12
+        assert 0 < result.amortized_ms_per_op() < result.avg_ms["target.update"]

@@ -1,0 +1,194 @@
+"""Contract tests for the Figure 6 wrappers: memory, relational,
+filesystem, and XML — every target wrapper must present the same keyed
+tree behaviour so the editor is wrapper-agnostic."""
+
+import pytest
+
+from repro.core.paths import Path
+from repro.core.tree import Tree
+from repro.storage import Column, ColumnType, Database, TableSchema
+from repro.wrappers import (
+    FileSystemSourceDB,
+    FileSystemTargetDB,
+    MemorySourceDB,
+    MemoryTargetDB,
+    RelationalSourceDB,
+    WrapperError,
+    XMLTargetDB,
+)
+from repro.xmldb.store import XMLDatabase
+
+
+def target_factories(tmp_path):
+    """Build each kind of target wrapper over equivalent initial data."""
+    initial = Tree.from_dict({"area": {"x": 1}})
+
+    def memory():
+        return MemoryTargetDB("T", initial.deep_copy())
+
+    def xml():
+        db = XMLDatabase()
+        db.load_tree(initial.deep_copy())
+        return XMLTargetDB("T", db)
+
+    def filesystem():
+        root = tmp_path / "fsdb"
+        (root / "area").mkdir(parents=True)
+        (root / "area" / "x").write_text("1")
+        return FileSystemTargetDB("T", str(root))
+
+    return {"memory": memory, "xml": xml, "filesystem": filesystem}
+
+
+@pytest.fixture(params=["memory", "xml", "filesystem"])
+def target(request, tmp_path):
+    return target_factories(tmp_path)[request.param]()
+
+
+class TestTargetContract:
+    def test_tree_from_db(self, target):
+        tree = target.tree_from_db()
+        value = tree.resolve("area/x").value
+        assert value in (1, "1")  # filesystem stores text
+
+    def test_add_and_copy_node(self, target):
+        target.add_node("area", "fresh", 7)
+        assert target.contains("area/fresh")
+        copied = target.copy_node("area")
+        assert copied.has_child("fresh")
+
+    def test_add_duplicate_fails(self, target):
+        with pytest.raises(WrapperError):
+            target.add_node("area", "x", 2)
+
+    def test_delete_returns_subtree(self, target):
+        removed = target.delete_node("area/x")
+        assert removed.is_leaf_value
+        assert not target.contains("area/x")
+
+    def test_delete_missing_fails(self, target):
+        with pytest.raises(WrapperError):
+            target.delete_node("area/zzz")
+
+    def test_paste_fresh_and_overwrite(self, target):
+        pasted = Tree.from_dict({"k": 9})
+        assert target.paste_node("area/new", pasted) is None
+        overwritten = target.paste_node("area/new", Tree.from_dict({"q": 3}))
+        assert overwritten is not None
+        has_k = overwritten.has_child("k")
+        assert has_k
+        tree = target.tree_from_db()
+        assert tree.contains_path("area/new/q")
+        assert not tree.contains_path("area/new/k")
+
+    def test_paste_is_deep_copy(self, target):
+        pasted = Tree.from_dict({"k": 9})
+        target.paste_node("area/new", pasted)
+        pasted.add_child("later", Tree.leaf(1))
+        assert not target.contains("area/new/later")
+
+    def test_copy_missing_fails(self, target):
+        with pytest.raises(WrapperError):
+            target.copy_node("no/such/path")
+
+
+class TestRelationalWrapper:
+    @pytest.fixture
+    def db(self):
+        database = Database("src")
+        database.create_table(TableSchema(
+            "protein",
+            [
+                Column("id", ColumnType.TEXT, nullable=False),
+                Column("name", ColumnType.TEXT, nullable=False),
+                Column("organism", ColumnType.TEXT),
+                Column("localization", ColumnType.TEXT),
+            ],
+            primary_key=("id",),
+        ))
+        database.insert_many("protein", [
+            ("P1", "ABC1", "H.sapiens", "membrane"),
+            ("P2", "CRP", None, "serum"),
+        ])
+        return database
+
+    def test_four_level_paths(self, db):
+        """DB/R/tid/F addressing (Section 2)."""
+        wrapper = RelationalSourceDB("S", db)
+        tree = wrapper.tree_from_db()
+        assert tree.resolve("protein/P1/name").value == "ABC1"
+        assert tree.resolve("protein/P2/localization").value == "serum"
+
+    def test_nulls_are_absent_edges(self, db):
+        wrapper = RelationalSourceDB("S", db)
+        assert not wrapper.tree_from_db().contains_path("protein/P2/organism")
+
+    def test_pk_not_duplicated_as_field(self, db):
+        wrapper = RelationalSourceDB("S", db)
+        tree = wrapper.tree_from_db()
+        assert not tree.contains_path("protein/P1/id")
+        # a row is the paper's size-4 subtree: parent + 3 fields
+        assert tree.resolve("protein/P1").node_count() == 4
+
+    def test_targeted_copy_node(self, db):
+        wrapper = RelationalSourceDB("S", db)
+        row = wrapper.copy_node("protein/P1")
+        assert row.to_dict() == {
+            "name": "ABC1", "organism": "H.sapiens", "localization": "membrane"
+        }
+        field = wrapper.copy_node("protein/P1/name")
+        assert field.value == "ABC1"
+        with pytest.raises(WrapperError):
+            wrapper.copy_node("protein/NOPE")
+        with pytest.raises(WrapperError):
+            wrapper.copy_node("protein/P1/zzz")
+
+    def test_targeted_matches_full_view(self, db):
+        wrapper = RelationalSourceDB("S", db)
+        full = wrapper.tree_from_db()
+        assert wrapper.copy_node("protein/P1") == full.resolve("protein/P1")
+
+    def test_exposed_subset(self, db):
+        wrapper = RelationalSourceDB("S", db, exposed=())
+        assert wrapper.tree_from_db().is_empty
+
+    def test_composite_key_rendering(self):
+        database = Database("src")
+        database.create_table(TableSchema(
+            "xref",
+            [
+                Column("a", ColumnType.INT, nullable=False),
+                Column("b", ColumnType.TEXT, nullable=False),
+                Column("v", ColumnType.TEXT),
+            ],
+            primary_key=("a", "b"),
+        ))
+        database.insert("xref", (1, "x", "hello"))
+        wrapper = RelationalSourceDB("S", database)
+        assert wrapper.tree_from_db().resolve("xref/1|x/v").value == "hello"
+        assert wrapper.copy_node("xref/1|x").to_dict() == {"v": "hello"}
+
+
+class TestFileSystemWrapper:
+    def test_source_view(self, tmp_path):
+        (tmp_path / "genes").mkdir()
+        (tmp_path / "genes" / "tp53.txt").write_text("tumor protein")
+        wrapper = FileSystemSourceDB("FS", str(tmp_path))
+        assert wrapper.tree_from_db().resolve("genes/tp53.txt").value == "tumor protein"
+
+    def test_unsafe_labels_rejected(self, tmp_path):
+        wrapper = FileSystemTargetDB("FS", str(tmp_path))
+        with pytest.raises(WrapperError):
+            wrapper.delete_node("../etc")
+
+    def test_target_roundtrip(self, tmp_path):
+        wrapper = FileSystemTargetDB("FS", str(tmp_path))
+        wrapper.paste_node("data", Tree.from_dict({"a": {"b": "text"}}))
+        assert (tmp_path / "data" / "a" / "b").read_text() == "text"
+        removed = wrapper.delete_node("data/a")
+        assert removed.resolve("b").value == "text"
+        assert not (tmp_path / "data" / "a").exists()
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(WrapperError):
+            FileSystemSourceDB("FS", str(tmp_path / "nope"))

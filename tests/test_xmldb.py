@@ -1,0 +1,205 @@
+"""Tests for the XML node store, keyed views, XPath subset, serialization."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.paths import Path
+from repro.core.tree import Tree
+from repro.xmldb import (
+    KeySpec,
+    XMLDatabase,
+    XMLDBError,
+    XPath,
+    XPathError,
+    keyed_view,
+    tree_to_xml,
+)
+
+from .strategies import small_trees
+
+
+class TestNodeStore:
+    def test_load_and_export(self):
+        db = XMLDatabase()
+        tree = Tree.from_dict({"a": {"x": 1}, "b": 2})
+        db.load_tree(tree)
+        assert db.subtree(Path()) == tree
+        assert db.value_at("a/x") == 1
+        assert db.node_count() == 4  # root, a, a/x, b
+
+    def test_stable_node_ids(self):
+        db = XMLDatabase()
+        db.load_tree(Tree.from_dict({"a": {"x": 1}, "b": 2}))
+        a_id = db.resolve("a")
+        db.add_node("", "c", 3)
+        assert db.resolve("a") == a_id  # unrelated update: id unchanged
+        assert db.path_of(a_id) == Path.parse("a")
+
+    def test_add_node(self):
+        db = XMLDatabase()
+        db.add_node("", "a")
+        db.add_node("a", "x", 1)
+        assert db.value_at("a/x") == 1
+        with pytest.raises(XMLDBError):
+            db.add_node("a", "x", 2)  # duplicate edge
+        with pytest.raises(XMLDBError):
+            db.add_node("a/x", "y", 2)  # parent is a leaf
+
+    def test_delete_node(self):
+        db = XMLDatabase()
+        db.load_tree(Tree.from_dict({"a": {"x": 1, "y": 2}}))
+        removed = db.delete_node("a/x")
+        assert removed.value == 1
+        assert not db.contains("a/x")
+        with pytest.raises(XMLDBError):
+            db.delete_node("a/x")
+        with pytest.raises(XMLDBError):
+            db.delete_node("")
+
+    def test_delete_frees_descendant_ids(self):
+        db = XMLDatabase()
+        db.load_tree(Tree.from_dict({"a": {"b": {"c": 1}}}))
+        count = db.node_count()
+        db.delete_node("a")
+        assert db.node_count() == count - 3
+
+    def test_paste_overwrite(self):
+        db = XMLDatabase()
+        db.load_tree(Tree.from_dict({"a": {"old": 1}}))
+        overwritten = db.paste_node("a", Tree.from_dict({"new": 2}))
+        assert overwritten.to_dict() == {"old": 1}
+        assert db.subtree("a").to_dict() == {"new": 2}
+
+    def test_paste_fresh(self):
+        db = XMLDatabase()
+        db.load_tree(Tree.from_dict({"a": {}}))
+        assert db.paste_node("a/b", Tree.leaf(5)) is None
+        assert db.value_at("a/b") == 5
+        with pytest.raises(XMLDBError):
+            db.paste_node("zzz/b", Tree.leaf(1))  # parent missing
+
+    def test_byte_accounting(self):
+        db = XMLDatabase()
+        base = db.byte_size
+        db.add_node("", "a", "hello")
+        grown = db.byte_size
+        assert grown > base
+        db.delete_node("a")
+        assert db.byte_size == base
+
+    @given(small_trees())
+    def test_load_export_roundtrip(self, tree):
+        if tree.is_leaf_value:
+            return
+        db = XMLDatabase()
+        db.load_tree(tree)
+        assert db.subtree(Path()) == tree
+
+
+class TestKeyedViews:
+    XML = """
+    <db>
+      <protein id="P1"><name>ABC1</name><mass>254</mass></protein>
+      <protein id="P2"><name>CRP</name></protein>
+      <note>curated</note>
+    </db>
+    """
+
+    def test_attribute_keys(self):
+        tree = keyed_view(self.XML, [KeySpec("protein", "@id")])
+        assert tree.resolve("protein{P1}/name").value == "ABC1"
+        assert tree.resolve("protein{P2}/name").value == "CRP"
+        assert tree.resolve("note").value == "curated"
+
+    def test_child_element_keys(self):
+        tree = keyed_view(self.XML, [KeySpec("protein", "name")])
+        assert tree.resolve("protein{ABC1}/mass").value == 254
+
+    def test_positional_fallback(self):
+        xml = "<db><cite><t>A</t></cite><cite><t>B</t></cite></db>"
+        tree = keyed_view(xml)
+        assert tree.resolve("cite{1}/t").value == "A"
+        assert tree.resolve("cite{2}/t").value == "B"
+
+    def test_attributes_become_at_children(self):
+        tree = keyed_view('<db><p id="P1" species="human"/></db>',
+                          [KeySpec("p", "@id")])
+        assert tree.resolve("p{P1}/@id").value == "P1"
+        assert tree.resolve("p{P1}/@species").value == "human"
+
+    def test_numeric_coercion(self):
+        tree = keyed_view("<db><n>42</n><f>1.5</f><s>x42y</s></db>")
+        assert tree.resolve("n").value == 42
+        assert tree.resolve("f").value == 1.5
+        assert tree.resolve("s").value == "x42y"
+
+    def test_path_prefix_restriction(self):
+        xml = "<db><a><p><k>1</k></p></a><b><p><k>2</k></p></b></db>"
+        tree = keyed_view(xml, [KeySpec("p", "k", path_prefix=("a",))])
+        assert tree.contains_path("a/p{1}")
+        assert tree.contains_path("b/p")  # unkeyed: spec did not apply
+
+    def test_serialize_roundtrip_shape(self):
+        tree = keyed_view(self.XML, [KeySpec("protein", "@id")])
+        xml = tree_to_xml(tree)
+        again = keyed_view(xml, [KeySpec("protein", "@key")])
+        assert again.contains_path("protein{P1}")
+
+
+class TestXPath:
+    TREE = Tree.from_dict({
+        "proteins": {
+            "P1": {"name": "ABC1", "loc": "membrane"},
+            "P2": {"name": "CRP", "loc": "serum"},
+        },
+        "notes": {"n1": {"name": "x"}},
+    })
+
+    def test_child_steps(self):
+        assert [str(p) for p in XPath("proteins/P1/name").evaluate(self.TREE)] == [
+            "proteins/P1/name"
+        ]
+
+    def test_wildcard(self):
+        paths = XPath("proteins/*/name").evaluate(self.TREE)
+        assert [str(p) for p in paths] == ["proteins/P1/name", "proteins/P2/name"]
+
+    def test_descendant(self):
+        paths = XPath("//name").evaluate(self.TREE)
+        assert len(paths) == 3
+
+    def test_predicate(self):
+        paths = XPath("proteins/*[loc='serum']/name").evaluate(self.TREE)
+        assert [str(p) for p in paths] == ["proteins/P2/name"]
+
+    def test_predicate_numeric(self):
+        tree = Tree.from_dict({"a": {"b": {"v": 3}}, "c": {"b": {"v": 4}}})
+        assert [str(p) for p in XPath("*/b[v=3]").evaluate(tree)] == ["a/b"]
+
+    def test_no_match(self):
+        assert XPath("zzz/*").evaluate(self.TREE) == []
+
+    def test_matches_structural(self):
+        xp = XPath("proteins/*/name")
+        assert xp.matches("proteins/P9/name")
+        assert not xp.matches("proteins/P9")
+        assert not xp.matches("notes/n1/name")
+
+    def test_matches_descendant(self):
+        xp = XPath("proteins//name")
+        assert xp.matches("proteins/P1/name")
+        assert xp.matches("proteins/deep/er/name")
+        assert not xp.matches("notes/n1/name")
+
+    def test_bad_expression(self):
+        with pytest.raises(XPathError):
+            XPath("a[unclosed")
+
+    def test_evaluate_matches_agree(self):
+        for expr in ("proteins/*/name", "//name", "proteins//loc", "*/P1/*"):
+            xp = XPath(expr)
+            matched = {str(p) for p in xp.evaluate(self.TREE)}
+            for path, _node in self.TREE.nodes():
+                if path.is_root:
+                    continue
+                assert (str(path) in matched) == xp.matches(path), (expr, path)
