@@ -1,0 +1,350 @@
+"""Hot-path microbenchmarks: new implementations vs seed replicas.
+
+Each test times the current implementation against a *seed replica* — a
+faithful copy of the pre-overhaul algorithm kept in this file — on the
+same workload, asserts the speedup floor, and records both sides in
+``BENCH_micro.json`` at the repo root (override with ``REPRO_BENCH_OUT``)
+so the perf trajectory has a comparable first data point.
+
+Workload sizes scale with ``REPRO_SCALE`` (default 10, the CI smoke
+scale); ``REPRO_FULL_SCALE=1`` runs the paper-sized workloads.  Gates
+are set conservatively below the observed speedups so CI noise cannot
+flake them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import random
+import time
+from pathlib import Path as FsPath
+
+import pytest
+
+from repro.core.paths import Path
+from repro.core.provenance import ProvRecord, ProvTable
+from repro.datalog.ast import Atom, Literal, Rule, Var
+from repro.datalog.engine import Program
+from repro.storage.index import OrderedIndex
+from repro.storage.schema import Column, IndexSpec, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import ColumnType
+
+
+def _scale() -> int:
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        return 100
+    return int(os.environ.get("REPRO_SCALE", "10"))
+
+
+SCALE = _scale()
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_results():
+    yield
+    out = os.environ.get(
+        "REPRO_BENCH_OUT", str(FsPath(__file__).resolve().parents[1] / "BENCH_micro.json")
+    )
+    payload = {
+        "suite": "micro_hotpaths",
+        "scale": SCALE,
+        "results": _RESULTS,
+    }
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def timed(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn()`` (min is the standard noise filter)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def record(name: str, seed_s: float, new_s: float, floor: float, **params) -> float:
+    speedup = seed_s / new_s if new_s > 0 else float("inf")
+    _RESULTS[name] = {
+        "seed_s": round(seed_s, 6),
+        "new_s": round(new_s, 6),
+        "speedup": round(speedup, 2),
+        "gate": floor,
+        "params": params,
+    }
+    print(f"\n[micro] {name}: seed={seed_s * 1e3:.1f}ms new={new_s * 1e3:.1f}ms "
+          f"speedup={speedup:.1f}x (gate >= {floor}x)")
+    return speedup
+
+
+# ----------------------------------------------------------------------
+# Seed replicas (the pre-overhaul algorithms, verbatim in spirit)
+# ----------------------------------------------------------------------
+
+
+class SeedOrderedIndex:
+    """The seed's flat sorted list maintained with ``list.insert``."""
+
+    def __init__(self):
+        self._entries = []
+
+    def insert(self, key, rowid):
+        entry = (key, rowid)
+        self._entries.insert(bisect.bisect_left(self._entries, entry), entry)
+
+    def delete(self, key, rowid):
+        entry = (key, rowid)
+        position = bisect.bisect_left(self._entries, entry)
+        if position < len(self._entries) and self._entries[position] == entry:
+            self._entries.pop(position)
+
+    def prefix_scan(self, prefix):
+        position = bisect.bisect_left(self._entries, ((prefix,), -1))
+        for index in range(position, len(self._entries)):
+            key, rowid = self._entries[index]
+            first = key[0]
+            if not isinstance(first, str) or not first.startswith(prefix):
+                break
+            yield rowid
+
+
+def seed_parse_path(text: str) -> Path:
+    """The seed's uncached parse: tokenize + validate on every call."""
+    stripped = text.strip("/")
+    if not stripped:
+        return Path(())
+    return Path(stripped.split("/"))
+
+
+def make_loc(rng: random.Random, i: int) -> str:
+    return f"T/c{rng.randrange(40)}/n{rng.randrange(60)}/x{i}"
+
+
+def make_keys(n: int, seed: int = 7):
+    rng = random.Random(seed)
+    keys = [(make_loc(rng, i),) for i in range(n)]
+    rng.shuffle(keys)
+    return keys
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+
+
+def gated_ab(seed_fn, new_fn, floor: float, attempts: int = 2):
+    """Time ``seed_fn`` vs ``new_fn``; on a below-gate ratio, re-measure
+    (a wall-clock gate on a shared CI runner must not flake on one GC
+    pause or CPU-steal spike — a genuine regression fails every
+    attempt).  Returns the best ``(seed_s, new_s)`` pair by ratio."""
+    best = None
+    for _ in range(attempts):
+        start = time.perf_counter()
+        seed_fn()
+        seed_s = time.perf_counter() - start
+        start = time.perf_counter()
+        new_fn()
+        new_s = time.perf_counter() - start
+        if best is None or seed_s / new_s > best[0] / best[1]:
+            best = (seed_s, new_s)
+        if best[0] / best[1] >= floor:
+            break
+    return best
+
+
+def test_ordered_index_build():
+    """Bulk build: blocked insert is sub-linear, list.insert is O(n).
+
+    Sized so the flat list's per-insert memmove dominates (the asymptotic
+    gap needs tens of thousands of entries to beat C-level memmove
+    constants).
+    """
+    n = 30_000 * SCALE
+    keys = make_keys(n)
+
+    def build_seed():
+        index = SeedOrderedIndex()
+        for rowid, key in enumerate(keys):
+            index.insert(key, rowid)
+        return index
+
+    def build_new():
+        index = OrderedIndex("bench")
+        for rowid, key in enumerate(keys):
+            index.insert(key, rowid)
+        return index
+
+    # contents equivalence at a cheap size (the hypothesis model tests
+    # cover correctness exhaustively; this is a harness sanity check)
+    small = keys[: n // 20]
+    small_seed, small_new = SeedOrderedIndex(), OrderedIndex("check")
+    for rowid, key in enumerate(small):
+        small_seed.insert(key, rowid)
+        small_new.insert(key, rowid)
+    assert list(small_new.items()) == small_seed._entries
+
+    seed_s, new_s = gated_ab(build_seed, build_new, 5.0)
+    speedup = record("ordered_index_build", seed_s, new_s, 5.0, n=n)
+    assert speedup >= 5.0
+
+
+def test_prefix_scan_live_index():
+    """Prefix scans against an index under churn (the editor workload:
+    every transaction writes provenance records, Mod queries interleave).
+    The flat list pays O(n) maintenance between scans; the blocked index
+    keeps scans streaming over a structure that is cheap to keep sorted."""
+    n = 24_000 * SCALE
+    keys = make_keys(n)
+    rng = random.Random(23)
+    prefixes = [f"T/c{rng.randrange(40)}/n{rng.randrange(60)}/" for _ in range(512)]
+    consumed_totals = []
+
+    def run(index):
+        consumed = 0
+        for rowid, key in enumerate(keys):
+            index.insert(key, rowid)
+            if rowid % 100 == 99:
+                for _rid in index.prefix_scan(prefixes[(rowid // 100) % len(prefixes)]):
+                    consumed += 1
+        consumed_totals.append(consumed)
+
+    seed_s, new_s = gated_ab(lambda: run(SeedOrderedIndex()), lambda: run(OrderedIndex("bench")), 5.0)
+    assert len(set(consumed_totals)) == 1  # both sides saw identical scans
+    speedup = record("prefix_scan_live", seed_s, new_s, 5.0, n=n, scan_every=100)
+    assert speedup >= 5.0
+
+
+def test_table_scan_sort_free():
+    """Full scans: the seed sorted all row ids and looked each row up in
+    the heap dict on every call; the new scan streams the dict."""
+    n = 1_500 * SCALE
+    scans = 60
+    table = Table(
+        TableSchema("t", [Column("k", ColumnType.INT), Column("v", ColumnType.TEXT)])
+    )
+    for i in range(n):
+        table.insert((i, f"v{i}"))
+
+    def seed_scan():
+        total = 0
+        rows = table._rows
+        for _ in range(scans):
+            for rowid in sorted(rows):  # the seed's access pattern
+                total += rows[rowid][0] & 1
+        return total
+
+    def new_scan():
+        total = 0
+        for _ in range(scans):
+            for _rowid, row in table.scan():
+                total += row[0] & 1
+        return total
+
+    assert seed_scan() == new_scan()
+    speedup = record(
+        "table_scan", timed(seed_scan), timed(new_scan), 1.2, n=n, scans=scans
+    )
+    assert speedup >= 1.2
+
+
+def test_path_parse_interning():
+    """Repeated parses of a working set: dict hit vs full tokenize."""
+    distinct = 40 * SCALE
+    repeats = 25
+    rng = random.Random(3)
+    texts = [make_loc(rng, i) for i in range(distinct)]
+
+    def seed_parse():
+        total = 0
+        for _ in range(repeats):
+            for text in texts:
+                total += len(seed_parse_path(text))
+        return total
+
+    def new_parse():
+        total = 0
+        for _ in range(repeats):
+            for text in texts:
+                total += len(Path.parse(text))
+        return total
+
+    assert seed_parse() == new_parse()
+    # behavior-preserving identity: same text -> same object
+    assert Path.parse(texts[0]) is Path.parse(texts[0])
+    assert Path.parse(texts[0]) == seed_parse_path(texts[0])
+    speedup = record(
+        "path_parse_interned",
+        timed(seed_parse),
+        timed(new_parse),
+        3.0,
+        distinct=distinct,
+        repeats=repeats,
+    )
+    assert speedup >= 3.0
+
+
+def test_records_under_read_path():
+    """The Mod access path end to end: prefix scan + record materialize."""
+    n = 300 * SCALE
+    queries = 15 * SCALE
+    rng = random.Random(11)
+    table = ProvTable()
+    records = [
+        ProvRecord(tid=i + 1, op="I", loc=Path.parse(make_loc(rng, i)))
+        for i in range(n)
+    ]
+    table.write_batch(records, category="bench")
+    roots = [Path.parse(f"T/c{i}") for i in range(40)]
+
+    def run_queries():
+        total = 0
+        for i in range(queries):
+            total += len(table.records_under(roots[i % len(roots)]))
+        return total
+
+    assert run_queries() > 0
+    elapsed = timed(run_queries)
+    _RESULTS["records_under"] = {
+        "new_s": round(elapsed, 6),
+        "params": {"rows": n, "queries": queries},
+    }
+    print(f"\n[micro] records_under: {elapsed * 1e3:.1f}ms "
+          f"({queries} queries over {n} rows)")
+
+
+def test_datalog_indexed_join():
+    """Transitive closure over a chain: per-binding probes vs full-set
+    unification on the ``edge`` literal (use_fact_indexes=False is the
+    seed behavior)."""
+    n = 12 * SCALE
+    edges = [(i, i + 1) for i in range(n)]
+
+    def solve(use_fact_indexes):
+        program = Program(use_fact_indexes=use_fact_indexes)
+        program.add_facts("edge", edges)
+        x, y, z = Var("X"), Var("Y"), Var("Z")
+        program.add_rule(Rule(Atom("path", (x, y)), (Literal(Atom("edge", (x, y))),)))
+        program.add_rule(
+            Rule(
+                Atom("path", (x, z)),
+                (Literal(Atom("path", (x, y))), Literal(Atom("edge", (y, z)))),
+            )
+        )
+        return program.query("path")
+
+    assert solve(False) == solve(True)  # identical models
+    speedup = record(
+        "datalog_indexed_join",
+        timed(lambda: solve(False), repeats=1),
+        timed(lambda: solve(True), repeats=1),
+        5.0,
+        edges=n,
+    )
+    assert speedup >= 5.0

@@ -65,19 +65,27 @@ def _expand_down(
     explicit: Dict[Path, ProvRecord],
     out: List[ProvRecord],
 ) -> None:
-    """Recursively emit inferred child records below ``record.loc``,
-    stopping at locations with their own explicit record."""
-    for label in sorted(subtree.children):
-        child_loc = record.loc.child(label)
-        if child_loc in explicit:
-            continue  # Infer(t, child) fails; the explicit record rules
-        if record.op == OP_COPY:
-            assert record.src is not None
-            child = ProvRecord(record.tid, OP_COPY, child_loc, record.src.child(label))
-        else:
-            child = ProvRecord(record.tid, record.op, child_loc)
-        out.append(child)
-        _expand_down(child, subtree.children[label], explicit, out)
+    """Emit inferred child records below ``record.loc``, stopping at
+    locations with their own explicit record.  Iterative (explicit
+    work stack) so arbitrarily deep subtrees cannot exhaust the Python
+    recursion limit; children are pushed reverse-sorted so they pop —
+    and are appended to ``out`` — in the same depth-first label order
+    the recursive form produced."""
+    stack = [(record, subtree)]
+    while stack:
+        parent, node = stack.pop()
+        for label in sorted(node.children, reverse=True):
+            child_loc = parent.loc.child(label)
+            if child_loc in explicit:
+                continue  # Infer(t, child) fails; the explicit record rules
+            if parent.op == OP_COPY:
+                assert parent.src is not None
+                child = ProvRecord(parent.tid, OP_COPY, child_loc, parent.src.child(label))
+            else:
+                child = ProvRecord(parent.tid, parent.op, child_loc)
+            stack.append((child, node.children[label]))
+        if parent is not record:
+            out.append(parent)
 
 
 def expand(

@@ -12,15 +12,29 @@ one data element.  Examples from the paper::
 This module implements that path algebra: parsing from / rendering to the
 ``a/b/c`` concrete syntax, concatenation, prefix tests, parents and suffixes.
 Paths are immutable and hashable so they can key provenance tables.
+
+Paths are *interned*: :meth:`Path.parse` keeps a text -> path cache and a
+labels -> path cache, so the same text always yields the same object and
+the provenance hot paths (``ProvRecord.from_row``, ancestor walks) stop
+re-tokenizing strings.  Interning is purely an optimization — equality
+and hashing are still structural.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, Tuple
 
 __all__ = ["Label", "Path", "PathError", "ROOT"]
 
 Label = str
+
+#: Bound on each intern cache; on overflow the caches are wiped (the
+#: working set re-warms immediately, and bounded beats unbounded growth
+#: across long benchmark runs).
+_INTERN_LIMIT = 1 << 16
+
+_interned_by_text: Dict[str, "Path"] = {}
+_interned_by_labels: Dict[Tuple[Label, ...], "Path"] = {}
 
 
 class PathError(ValueError):
@@ -51,12 +65,13 @@ class Path:
     True
     """
 
-    __slots__ = ("_labels", "_hash")
+    __slots__ = ("_labels", "_hash", "_str")
 
     def __init__(self, labels: Iterable[Label] = ()) -> None:
         labels = tuple(_check_label(label) for label in labels)
         object.__setattr__(self, "_labels", labels)
         object.__setattr__(self, "_hash", hash(labels))
+        object.__setattr__(self, "_str", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Path is immutable")
@@ -66,15 +81,35 @@ class Path:
     # ------------------------------------------------------------------
     @classmethod
     def parse(cls, text: str) -> "Path":
-        """Parse the ``a/b/c`` concrete syntax.  ``""`` parses to the root."""
+        """Parse the ``a/b/c`` concrete syntax.  ``""`` parses to the root.
+
+        Results are interned: the same text returns the same object.
+        """
         if not isinstance(text, str):
             raise PathError(f"cannot parse {type(text).__name__} as a path")
-        if text in ("", "/"):
-            return ROOT
+        cached = _interned_by_text.get(text)
+        if cached is not None:
+            return cached
         stripped = text.strip("/")
         if not stripped:
-            return ROOT
-        return cls(stripped.split("/"))
+            path = ROOT
+        else:
+            path = cls._intern(tuple(stripped.split("/")))
+        if len(_interned_by_text) >= _INTERN_LIMIT:
+            _interned_by_text.clear()
+        _interned_by_text[text] = path
+        return path
+
+    @classmethod
+    def _intern(cls, labels: Tuple[Label, ...]) -> "Path":
+        """The canonical path for ``labels`` (validating on first sight)."""
+        path = _interned_by_labels.get(labels)
+        if path is None:
+            path = cls(labels)
+            if len(_interned_by_labels) >= _INTERN_LIMIT:
+                _interned_by_labels.clear()
+            _interned_by_labels[labels] = path
+        return path
 
     @classmethod
     def of(cls, value: "Path | str | Iterable[Label]") -> "Path":
@@ -105,7 +140,7 @@ class Path:
         """
         if self.is_root:
             raise PathError("the root path has no parent")
-        return Path(self._labels[:-1])
+        return Path._intern(self._labels[:-1])
 
     @property
     def last(self) -> Label:
@@ -126,19 +161,19 @@ class Path:
         """The path with the first label removed."""
         if self.is_root:
             raise PathError("the root path has no tail")
-        return Path(self._labels[1:])
+        return Path._intern(self._labels[1:])
 
     # ------------------------------------------------------------------
     # Algebra
     # ------------------------------------------------------------------
     def child(self, label: Label) -> "Path":
         """Extend the path by one label (written ``p/a`` in the paper)."""
-        return Path(self._labels + (_check_label(label),))
+        return Path._intern(self._labels + (_check_label(label),))
 
     def join(self, other: "Path | str") -> "Path":
         """Concatenate two paths."""
         other = Path.of(other)
-        return Path(self._labels + other._labels)
+        return Path._intern(self._labels + other._labels)
 
     def __truediv__(self, other: "Path | str | Label") -> "Path":
         if isinstance(other, Path):
@@ -172,7 +207,7 @@ class Path:
         prefix = Path.of(prefix)
         if not prefix.is_prefix_of(self):
             raise PathError(f"{prefix} is not a prefix of {self}")
-        return Path(self._labels[len(prefix._labels):])
+        return Path._intern(self._labels[len(prefix._labels):])
 
     def rebase(self, old_prefix: "Path | str", new_prefix: "Path | str") -> "Path":
         """Replace ``old_prefix`` with ``new_prefix``.
@@ -190,7 +225,7 @@ class Path:
         """
         start = len(self._labels) if include_self else len(self._labels) - 1
         for n in range(start, -1, -1):
-            yield Path(self._labels[:n])
+            yield Path._intern(self._labels[:n])
 
     # ------------------------------------------------------------------
     # Dunder plumbing
@@ -203,10 +238,12 @@ class Path:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Path(self._labels[index])
+            return Path._intern(self._labels[index])
         return self._labels[index]
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if isinstance(other, Path):
             return self._labels == other._labels
         if isinstance(other, str):
@@ -217,7 +254,11 @@ class Path:
         return self._hash
 
     def __str__(self) -> str:
-        return "/".join(self._labels)
+        rendered = self._str
+        if rendered is None:
+            rendered = "/".join(self._labels)
+            object.__setattr__(self, "_str", rendered)
+        return rendered
 
     def __repr__(self) -> str:
         return f"Path({str(self)!r})"
@@ -229,3 +270,4 @@ class Path:
 
 #: The empty path, addressing the root.
 ROOT = Path()
+_interned_by_labels[()] = ROOT

@@ -123,6 +123,10 @@ class ProvTable:
         if not self.db.has_table(table_name):
             self.db.create_table(prov_schema(table_name))
         self._table = self.db.table(table_name)
+        # incremental MAX(tid): maintained by the table across every
+        # mutation path, so max_tid stops full-scanning (the charged
+        # round-trip cost is unchanged; only the Python-side work goes)
+        self._table.track_max("tid")
 
     # ------------------------------------------------------------------
     # Writes
@@ -203,9 +207,11 @@ class ProvTable:
         return sorted((ProvRecord.from_row(row) for row in rows), key=_record_order)
 
     def max_tid(self, category: str = "query") -> int:
-        rows = [row for _rid, row in self._table.scan()]
-        self._charge_read(len(rows), category)
-        return max((row[0] for row in rows), default=0)
+        # same charge as the seed's full scan (the *store* still pays the
+        # query), but the answer comes from the incremental aggregate
+        self._charge_read(self._table.row_count, category)
+        value = self._table.max_value("tid")
+        return 0 if value is None else value
 
     # ------------------------------------------------------------------
     # Uncharged instrumentation (out-of-band measurements)

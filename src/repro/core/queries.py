@@ -156,21 +156,13 @@ class ProvenanceQueries:
     ) -> Optional[ProvRecord]:
         """The most recent change event governing ``position`` with
         tid <= bound, resolved client-side from the fetched records."""
-        best_tid = 0
-        for tid, _loc in cache:
-            if tid <= bound and tid > best_tid:
-                best_tid = tid
-        while best_tid > 0:
-            record = self._effective_from(cache, best_tid, position)
+        candidate_tids = sorted({tid for tid, _loc in cache if tid <= bound}, reverse=True)
+        for tid in candidate_tids:
+            record = self._effective_from(cache, tid, position)
             if record is not None:
                 return record
             # that transaction touched an ancestor but a nearer record
             # shadowed it away from position; try the next older change
-            next_tid = 0
-            for tid, _loc in cache:
-                if tid < best_tid and tid > next_tid:
-                    next_tid = tid
-            best_tid = next_tid
         return None
 
     def trace(self, loc: "Path | str", tnow: Optional[int] = None) -> List[TraceStep]:

@@ -10,6 +10,15 @@ proportional to new facts rather than to the whole database.
 Body literals are evaluated left to right; a negated or builtin literal
 must have its input variables bound by that point (rule authors order
 bodies accordingly, as the paper's rules already do).
+
+Positive literals with bound arguments probe *fact indexes* instead of
+unifying against a predicate's whole fact set: per ``(predicate,
+bound-argument-positions)`` signature, a hash index from the bound
+values to the candidate facts is built lazily on first probe and
+maintained incrementally as the fixpoint derives new facts.  Joins like
+``path(X, Y), edge(Y, Z)`` thereby touch only the matching ``edge``
+facts for each bound ``Y`` rather than every edge (``use_fact_indexes=
+False`` restores the scan-everything behavior for A/B measurement).
 """
 
 from __future__ import annotations
@@ -42,11 +51,21 @@ class Program:
     [(1, 2), (1, 3), (2, 3)]
     """
 
-    def __init__(self, builtins: Optional[Dict[str, Builtin]] = None) -> None:
+    def __init__(
+        self,
+        builtins: Optional[Dict[str, Builtin]] = None,
+        use_fact_indexes: bool = True,
+    ) -> None:
         self.rules: List[Rule] = []
         self.facts: Dict[str, Set[Fact]] = {}
         self.builtins = dict(BUILTINS if builtins is None else builtins)
+        self.use_fact_indexes = use_fact_indexes
         self._computed: Optional[Dict[str, Set[Fact]]] = None
+        # (pred, bound positions) -> bound values -> candidate facts;
+        # valid only during one evaluate() fixpoint
+        self._fact_indexes: Dict[
+            Tuple[str, Tuple[int, ...]], Dict[Tuple[Any, ...], List[Fact]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -130,16 +149,85 @@ class Program:
         if atom.pred in self.builtins:
             yield from self._solve_builtin(atom, subst)
             return
-        facts = restrict if restrict is not None else database.get(atom.pred, set())
         if literal.negated:
             bound = self._require_ground(atom, subst, "negated literal")
             if bound not in database.get(atom.pred, set()):
                 yield subst
             return
+        if restrict is not None:
+            facts: Iterable[Fact] = restrict  # delta sets are small: scan
+        elif self.use_fact_indexes:
+            facts = self._candidate_facts(atom, subst, database)
+        else:
+            facts = database.get(atom.pred, set())
         for fact in facts:
             extended = self._unify(atom, fact, subst)
             if extended is not None:
                 yield extended
+
+    # ------------------------------------------------------------------
+    # Fact indexes
+    # ------------------------------------------------------------------
+    def _candidate_facts(
+        self, atom: Atom, subst: Substitution, database: Dict[str, Set[Fact]]
+    ) -> Iterable[Fact]:
+        """Facts of ``atom.pred`` that can possibly match under ``subst``:
+        probes the (pred, bound positions) index when any argument is
+        bound, falling back to the full fact set otherwise.  ``_unify``
+        still validates every candidate, so this is purely a filter."""
+        all_facts = database.get(atom.pred, ())
+        positions: List[int] = []
+        values: List[Any] = []
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Const):
+                positions.append(i)
+                values.append(term.value)
+            else:
+                value = subst.get(term, _MISSING)
+                if value is not _MISSING:
+                    positions.append(i)
+                    values.append(value)
+        if not positions or not all_facts:
+            return all_facts
+        try:
+            probe = tuple(values)
+            hash(probe)
+        except TypeError:
+            return all_facts  # unhashable binding (builtin output): scan
+        signature = (atom.pred, tuple(positions))
+        index = self._fact_indexes.get(signature)
+        if index is None:
+            index = {}
+            key_of = self._fact_key(tuple(positions))
+            for fact in all_facts:
+                key = key_of(fact)
+                if key is not None:
+                    index.setdefault(key, []).append(fact)
+            self._fact_indexes[signature] = index
+        return index.get(probe, ())
+
+    @staticmethod
+    def _fact_key(positions: Tuple[int, ...]):
+        """Projection of a fact onto ``positions`` (``None`` when the fact
+        is too short to have them — it can never match such an atom)."""
+        def key_of(fact: Fact) -> Optional[Tuple[Any, ...]]:
+            try:
+                return tuple(fact[i] for i in positions)
+            except IndexError:
+                return None
+        return key_of
+
+    def _index_new_facts(self, pred: str, fresh: Iterable[Fact]) -> None:
+        """Keep every live index for ``pred`` consistent with facts the
+        fixpoint just added to the database."""
+        for (indexed_pred, positions), index in self._fact_indexes.items():
+            if indexed_pred != pred:
+                continue
+            key_of = self._fact_key(positions)
+            for fact in fresh:
+                key = key_of(fact)
+                if key is not None:
+                    index.setdefault(key, []).append(fact)
 
     def _solve_builtin(self, atom: Atom, subst: Substitution) -> Iterator[Substitution]:
         builtin = self.builtins[atom.pred]
@@ -240,6 +328,7 @@ class Program:
         database: Dict[str, Set[Fact]] = {
             pred: set(facts) for pred, facts in self.facts.items()
         }
+        self._fact_indexes.clear()
         for stratum in self._stratify():
             stratum_preds = set(stratum)
             rules = [rule for rule in self.rules if rule.head.pred in stratum_preds]
@@ -251,6 +340,7 @@ class Program:
                 fresh = new - existing
                 existing |= fresh
                 if fresh:
+                    self._index_new_facts(rule.head.pred, fresh)
                     delta.setdefault(rule.head.pred, set()).update(fresh)
             # semi-naive iterations
             while delta:
@@ -261,8 +351,10 @@ class Program:
                     fresh = new - existing
                     existing |= fresh
                     if fresh:
+                        self._index_new_facts(rule.head.pred, fresh)
                         next_delta.setdefault(rule.head.pred, set()).update(fresh)
                 delta = next_delta
+        self._fact_indexes.clear()
         self._computed = database
         return database
 

@@ -184,6 +184,22 @@ class Database:
             self.commit()
         return rowids
 
+    def bulk_load(
+        self, table_name: str, rows: Sequence["Sequence[Any] | Dict[str, Any]"]
+    ) -> List[int]:
+        """Load rows without transaction machinery (no undo, no WAL).
+
+        The snapshot-restore fast path: constraints and indexes are still
+        enforced row by row, but none of the per-row begin/undo/commit
+        bookkeeping of :meth:`insert_many` is paid.  Only valid outside a
+        transaction; a constraint failure leaves earlier rows in place
+        (callers restore into a fresh database and discard it on error).
+        """
+        if self._active_txn is not None:
+            raise TransactionError("bulk_load is not allowed inside a transaction")
+        table = self.table(table_name)
+        return [table.insert(row) for row in rows]
+
     def delete_where(self, table_name: str, predicate: Optional[Expr] = None) -> int:
         """Delete matching rows; returns the count."""
         table = self.table(table_name)
@@ -260,6 +276,12 @@ class Database:
                 table = self.table(record.table)
                 if record.kind == KIND_INSERT:
                     table.insert(record.row)
+                elif table.schema.primary_key:
+                    # pk point lookup instead of a full scan: a row equal
+                    # to the logged one necessarily shares its key
+                    found = table.lookup_pk(table.schema.key_of(record.row))
+                    if found is not None and found[1] == record.row:
+                        table.delete_row(found[0])
                 else:
                     for rowid, row in list(table.scan()):
                         if row == record.row:

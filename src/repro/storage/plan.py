@@ -18,6 +18,7 @@ __all__ = [
     "SeqScan",
     "IndexEqScan",
     "IndexPrefixScan",
+    "IndexRangeScan",
     "FilterNode",
     "ProjectNode",
     "HashJoinNode",
@@ -95,6 +96,40 @@ class IndexPrefixScan(PlanNode):
 
     def describe(self) -> str:
         return f"IndexPrefixScan({self.table.schema.name}.{self.index_name} ~ {self.prefix!r}%)"
+
+
+@dataclass
+class IndexRangeScan(PlanNode):
+    """Streaming scan of an ordered index restricted to ``[low, high]``.
+
+    Rows arrive in index-key order, so a downstream ORDER BY on the same
+    key needs no sort.  Bounds are optional (open-ended) and may each be
+    exclusive, mapping the planner-visible ``k >= lo AND k < hi`` shapes
+    onto the blocked ordered index's range iterator.
+    """
+
+    table: Table
+    index_name: str
+    low: Optional[Tuple[Any, ...]] = None
+    high: Optional[Tuple[Any, ...]] = None
+    include_low: bool = True
+    include_high: bool = True
+    alias: Optional[str] = None
+
+    def execute(self) -> Iterator[Env]:
+        rows = self.table.range_scan(
+            self.index_name, self.low, self.high, self.include_low, self.include_high
+        )
+        for _rowid, row in rows:
+            yield _env_from_row(self.table, row, self.alias)
+
+    def describe(self) -> str:
+        low_bracket = "[" if self.include_low else "("
+        high_bracket = "]" if self.include_high else ")"
+        return (
+            f"IndexRangeScan({self.table.schema.name}.{self.index_name} in "
+            f"{low_bracket}{self.low!r}, {self.high!r}{high_bracket})"
+        )
 
 
 @dataclass

@@ -146,7 +146,9 @@ def load_snapshot(path: str, name: str = "db") -> Database:
             row, offset = decode_row(schema, data, offset)
             rows.append(row)
         if rows:
-            db.insert_many(table_name, rows)
+            # fast path: snapshot rows were valid when written, so skip
+            # the per-row transaction bookkeeping of insert_many
+            db.bulk_load(table_name, rows)
     return db
 
 

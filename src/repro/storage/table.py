@@ -13,12 +13,62 @@ __all__ = ["Table"]
 Row = Tuple[Any, ...]
 
 
+class _MaxStat:
+    """Incrementally maintained MAX over one column's live values.
+
+    Keeps a value -> multiplicity map; deleting the current maximum only
+    marks the cached answer dirty, and the next read recomputes it over
+    the distinct values (not the rows).  NULLs are ignored, as in SQL.
+    """
+
+    __slots__ = ("_counts", "_max", "_dirty")
+
+    def __init__(self) -> None:
+        self._counts: Dict[Any, int] = {}
+        self._max: Any = None
+        self._dirty = False
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self._counts[value] = self._counts.get(value, 0) + 1
+        if not self._dirty and (self._max is None or value > self._max):
+            self._max = value
+
+    def remove(self, value: Any) -> None:
+        if value is None:
+            return
+        remaining = self._counts.get(value, 0) - 1
+        if remaining > 0:
+            self._counts[value] = remaining
+            return
+        self._counts.pop(value, None)
+        if value == self._max:
+            self._dirty = True
+
+    def value(self) -> Any:
+        if self._dirty:
+            self._max = max(self._counts) if self._counts else None
+            self._dirty = False
+        return self._max
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._max = None
+        self._dirty = False
+
+
 class Table:
     """Rows stored in an in-memory heap keyed by monotonically increasing
     row ids, with automatic primary-key and secondary-index maintenance.
 
     Byte accounting (``byte_size``) tracks the encoded size of the live
     rows, which is what the paper reports for provenance store sizes.
+
+    ``scan`` relies on the row dict's insertion order matching ascending
+    row ids; the rare paths that re-insert an old row id (rollback,
+    recovery) set a flag and the next scan re-orders the dict once,
+    instead of every scan paying a sort.
     """
 
     def __init__(self, schema: TableSchema) -> None:
@@ -26,11 +76,14 @@ class Table:
         self._rows: Dict[int, Row] = {}
         self._next_rowid = 1
         self._byte_size = 0
+        self._rows_ordered = True
+        self._max_seen_rowid = 0
         self._pk_index: Optional[HashIndex] = None
         if schema.primary_key:
             self._pk_index = HashIndex(f"{schema.name}_pk", unique=True)
         self._indexes: Dict[str, Union[HashIndex, OrderedIndex]] = {}
         self._index_specs: Dict[str, IndexSpec] = {}
+        self._max_stats: Dict[str, Tuple[int, _MaxStat]] = {}
         for spec in schema.indexes:
             self.create_index(spec)
 
@@ -66,6 +119,41 @@ class Table:
         return dict(self._index_specs)
 
     # ------------------------------------------------------------------
+    # Incremental statistics
+    # ------------------------------------------------------------------
+    def track_max(self, column: str) -> None:
+        """Maintain MAX(column) incrementally across all mutation paths.
+
+        Idempotent; backfills from the current rows on registration.
+        """
+        if column in self._max_stats:
+            return
+        position = self.schema.column_index(column)
+        stat = _MaxStat()
+        for row in self._rows.values():
+            stat.add(row[position])
+        self._max_stats[column] = (position, stat)
+
+    def max_value(self, column: str) -> Any:
+        """Current MAX(column) (``None`` on empty / all-NULL); O(1) reads
+        unless the previous maximum was just deleted."""
+        try:
+            position, stat = self._max_stats[column]
+        except KeyError:
+            raise ConstraintError(
+                f"column {column!r} of {self.schema.name!r} is not max-tracked"
+            ) from None
+        return stat.value()
+
+    def _stats_add(self, row: Row) -> None:
+        for position, stat in self._max_stats.values():
+            stat.add(row[position])
+
+    def _stats_remove(self, row: Row) -> None:
+        for position, stat in self._max_stats.values():
+            stat.remove(row[position])
+
+    # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
     def insert(self, row: "Sequence[Any] | Dict[str, Any]") -> int:
@@ -90,8 +178,13 @@ class Table:
                 self._pk_index.delete(self.schema.key_of(normalized), rowid)
             raise
         self._rows[rowid] = normalized
+        if rowid <= self._max_seen_rowid:
+            self._rows_ordered = False  # re-inserted old id lands at dict end
+        else:
+            self._max_seen_rowid = rowid
         self._next_rowid += 1
         self._byte_size += self.schema.row_bytes(normalized)
+        self._stats_add(normalized)
         return rowid
 
     def _unindex(self, rowid: int, row: Row, stop_at: Optional[str] = None) -> None:
@@ -113,41 +206,98 @@ class Table:
             spec = self._index_specs[name]
             index.delete(self.schema.project(row, spec.columns), rowid)
         self._byte_size -= self.schema.row_bytes(row)
+        self._stats_remove(row)
         return row
 
     def update_row(self, rowid: int, changes: Dict[str, Any]) -> Tuple[Row, Row]:
-        """Apply column changes to one row; returns ``(old, new)``."""
-        if rowid not in self._rows:
+        """Apply column changes to one row; returns ``(old, new)``.
+
+        Validate-then-swap: every constraint the new row could violate is
+        checked *before* any index or heap mutation, so a failing update
+        leaves the old row fully intact.  Only indexes whose key columns
+        actually changed are touched, and the row is replaced in place
+        (same dict slot), preserving scan order.
+        """
+        old = self._rows.get(rowid)
+        if old is None:
             raise ConstraintError(f"no row with id {rowid} in {self.schema.name!r}")
-        old = self._rows[rowid]
         merged = dict(zip(self.schema.column_names, old))
         merged.update(changes)
         new = self.schema.normalize_row(merged)
-        self.delete_row(rowid)
-        # reuse the same rowid to keep external references stable
-        saved_next = self._next_rowid
-        self._next_rowid = rowid
-        try:
-            self.insert(new)
-        finally:
-            self._next_rowid = max(saved_next, rowid + 1)
+        if new == old:
+            return old, new
+
+        # -- validate ---------------------------------------------------
+        pk_change: Optional[Tuple[Tuple[Any, ...], Tuple[Any, ...]]] = None
+        if self._pk_index is not None:
+            old_key = self.schema.key_of(old)
+            new_key = self.schema.key_of(new)
+            if new_key != old_key:
+                if any(part is None for part in new_key):
+                    raise ConstraintError(
+                        f"primary key of {self.schema.name!r} may not contain NULL"
+                    )
+                if self._pk_index.contains(new_key):
+                    raise DuplicateKeyError(
+                        f"duplicate key {new_key!r} in unique index "
+                        f"{self._pk_index.name!r}"
+                    )
+                pk_change = (old_key, new_key)
+        changed: List[Tuple[Union[HashIndex, OrderedIndex], Tuple[Any, ...], Tuple[Any, ...]]] = []
+        for name, index in self._indexes.items():
+            columns = self._index_specs[name].columns
+            old_proj = self.schema.project(old, columns)
+            new_proj = self.schema.project(new, columns)
+            if new_proj == old_proj:
+                continue
+            if index.unique and index.lookup(new_proj):
+                raise DuplicateKeyError(
+                    f"duplicate key {new_proj!r} in unique index {name!r}"
+                )
+            changed.append((index, old_proj, new_proj))
+
+        # -- swap -------------------------------------------------------
+        if pk_change is not None:
+            self._pk_index.delete(pk_change[0], rowid)
+            self._pk_index.insert(pk_change[1], rowid)
+        for index, old_proj, new_proj in changed:
+            index.delete(old_proj, rowid)
+            index.insert(new_proj, rowid)
+        self._rows[rowid] = new
+        self._byte_size += self.schema.row_bytes(new) - self.schema.row_bytes(old)
+        self._stats_remove(old)
+        self._stats_add(new)
         return old, new
 
     def clear(self) -> None:
         self._rows.clear()
         self._byte_size = 0
+        self._rows_ordered = True
+        self._max_seen_rowid = 0
         if self._pk_index is not None:
             self._pk_index.clear()
         for index in self._indexes.values():
             index.clear()
+        for _position, stat in self._max_stats.values():
+            stat.clear()
 
     # ------------------------------------------------------------------
     # Access paths
     # ------------------------------------------------------------------
     def scan(self) -> Iterator[Tuple[int, Row]]:
-        """Full scan in row-id (insertion) order."""
-        for rowid in sorted(self._rows):
-            yield rowid, self._rows[rowid]
+        """Full scan in row-id (insertion) order.
+
+        No per-call sort: the row dict is kept in row-id order and only
+        re-ordered (once) after a rollback/recovery re-inserted an old id.
+        The returned iterator reads the dict directly — callers that
+        mutate mid-scan must snapshot (``list(table.scan())``) first,
+        which is also what the seed's sorted-key scan required in
+        practice (its lazy row lookups raised on deleted ids).
+        """
+        if not self._rows_ordered:
+            self._rows = dict(sorted(self._rows.items()))
+            self._rows_ordered = True
+        return iter(self._rows.items())
 
     def get(self, rowid: int) -> Row:
         return self._rows[rowid]
@@ -155,15 +305,13 @@ class Table:
     def lookup_pk(self, key: Tuple[Any, ...]) -> Optional[Tuple[int, Row]]:
         if self._pk_index is None:
             raise ConstraintError(f"table {self.schema.name!r} has no primary key")
-        rowids = self._pk_index.lookup(key)
-        if not rowids:
-            return None
-        rowid = next(iter(rowids))
-        return rowid, self._rows[rowid]
+        for rowid in self._pk_index.lookup_iter(key):
+            return rowid, self._rows[rowid]
+        return None
 
     def lookup_index(self, index_name: str, key: Tuple[Any, ...]) -> Iterator[Tuple[int, Row]]:
         index = self._indexes[index_name]
-        for rowid in sorted(index.lookup(key)):
+        for rowid in index.lookup_iter(key):
             yield rowid, self._rows[rowid]
 
     def prefix_scan(self, index_name: str, prefix: str) -> Iterator[Tuple[int, Row]]:
@@ -171,6 +319,21 @@ class Table:
         if not isinstance(index, OrderedIndex):
             raise ConstraintError(f"index {index_name!r} does not support prefix scans")
         for rowid in index.prefix_scan(prefix):
+            yield rowid, self._rows[rowid]
+
+    def range_scan(
+        self,
+        index_name: str,
+        low: Optional[Tuple[Any, ...]] = None,
+        high: Optional[Tuple[Any, ...]] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[int, Row]]:
+        """Rows with index key in ``[low, high]`` via an ordered index."""
+        index = self._indexes[index_name]
+        if not isinstance(index, OrderedIndex):
+            raise ConstraintError(f"index {index_name!r} does not support range scans")
+        for rowid in index.range(low, high, include_low, include_high):
             yield rowid, self._rows[rowid]
 
     # ------------------------------------------------------------------

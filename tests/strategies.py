@@ -22,6 +22,45 @@ LABELS = ["a", "b", "c", "d", "e"]
 SOURCE_NAME = "S1"
 TARGET_NAME = "T"
 
+# ----------------------------------------------------------------------
+# Ordered-index operation sequences
+# ----------------------------------------------------------------------
+
+#: Small key space so insert/delete/lookup sequences collide often —
+#: collisions are where blocked-index bookkeeping can go wrong.
+INDEX_KEY_TEXTS = [
+    "T", "T/a", "T/a/x", "T/a/y", "T/ab", "T/b", "T/b/x", "S", "S/a", "S/b",
+]
+
+index_keys = st.sampled_from(INDEX_KEY_TEXTS).map(lambda text: (text,))
+index_rowids = st.integers(min_value=0, max_value=30)
+
+
+def index_ops(max_size: int = 60) -> st.SearchStrategy[List[tuple]]:
+    """Sequences of ordered-index operations for model-based testing.
+
+    Each element is one of::
+
+        ("insert", key, rowid)   ("delete", key, rowid)
+        ("lookup", key)          ("prefix", text)
+        ("range", low_or_None, high_or_None, include_low, include_high)
+
+    The model test executes them against the blocked ``OrderedIndex``
+    and a plain sorted-list reference and compares every observation.
+    """
+    insert = st.tuples(st.just("insert"), index_keys, index_rowids)
+    delete = st.tuples(st.just("delete"), index_keys, index_rowids)
+    lookup = st.tuples(st.just("lookup"), index_keys)
+    prefix = st.tuples(st.just("prefix"), st.sampled_from(
+        ["T", "T/", "T/a", "T/a/", "S", "Q", ""]
+    ))
+    bound = st.one_of(st.none(), index_keys)
+    rng = st.tuples(st.just("range"), bound, bound, st.booleans(), st.booleans())
+    return st.lists(
+        st.one_of(insert, insert, insert, delete, lookup, prefix, rng),
+        max_size=max_size,
+    )
+
 
 def small_trees(max_depth: int = 3) -> st.SearchStrategy[Tree]:
     """Random small trees with values at the leaves."""

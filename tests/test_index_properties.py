@@ -1,0 +1,152 @@
+"""Model-based tests: the blocked OrderedIndex vs a sorted-list reference.
+
+The reference model is the seed's data structure — a flat sorted list of
+``(key, rowid)`` pairs — with the semantics the rest of the engine
+relies on: duplicates allowed (unless unique), lookups/scans in
+``(key, rowid)`` order, prefix scans on the first key component.
+Every observable operation of a drawn op sequence must agree between the
+blocked implementation and the model.
+"""
+
+import bisect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.errors import DuplicateKeyError
+from repro.storage.index import OrderedIndex, _LOAD
+
+from .strategies import index_keys, index_ops, index_rowids
+
+
+class SortedListModel:
+    """The seed's flat sorted list, kept deliberately simple."""
+
+    def __init__(self):
+        self.entries = []
+
+    def insert(self, key, rowid):
+        bisect.insort(self.entries, (key, rowid))
+
+    def delete(self, key, rowid):
+        position = bisect.bisect_left(self.entries, (key, rowid))
+        if position < len(self.entries) and self.entries[position] == (key, rowid):
+            self.entries.pop(position)
+
+    def lookup(self, key):
+        return [rowid for entry_key, rowid in self.entries if entry_key == key]
+
+    def range(self, low, high, include_low, include_high):
+        out = []
+        for key, rowid in self.entries:
+            if low is not None and (key < low or (not include_low and key == low)):
+                continue
+            if high is not None and (key > high or (not include_high and key == high)):
+                continue
+            out.append(rowid)
+        return out
+
+    def prefix(self, text):
+        return [
+            rowid
+            for key, rowid in self.entries
+            if isinstance(key[0], str) and key[0].startswith(text)
+        ]
+
+
+def apply_ops(ops):
+    index = OrderedIndex("model")
+    model = SortedListModel()
+    for op in ops:
+        if op[0] == "insert":
+            index.insert(op[1], op[2])
+            model.insert(op[1], op[2])
+        elif op[0] == "delete":
+            index.delete(op[1], op[2])
+            model.delete(op[1], op[2])
+        elif op[0] == "lookup":
+            assert sorted(index.lookup_iter(op[1])) == sorted(model.lookup(op[1]))
+            assert index.lookup(op[1]) == set(model.lookup(op[1]))
+        elif op[0] == "prefix":
+            assert list(index.prefix_scan(op[1])) == model.prefix(op[1])
+        else:  # range
+            _tag, low, high, include_low, include_high = op
+            assert list(index.range(low, high, include_low, include_high)) == (
+                model.range(low, high, include_low, include_high)
+            )
+    return index, model
+
+
+class TestBlockedIndexModel:
+    @given(index_ops())
+    @settings(max_examples=200, deadline=None)
+    def test_operation_sequences_agree(self, ops):
+        index, model = apply_ops(ops)
+        assert len(index) == len(model.entries)
+        assert list(index.items()) == model.entries
+        assert index.min_key() == (model.entries[0][0] if model.entries else None)
+        assert index.max_key() == (model.entries[-1][0] if model.entries else None)
+
+    @given(st.lists(st.tuples(index_keys, index_rowids), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_unique_rejects_exactly_duplicate_keys(self, pairs):
+        index = OrderedIndex("u", unique=True)
+        seen = set()
+        for key, rowid in pairs:
+            if key in seen:
+                with pytest.raises(DuplicateKeyError):
+                    index.insert(key, rowid)
+            else:
+                index.insert(key, rowid)
+                seen.add(key)
+        assert len(index) == len(seen)
+
+    def test_block_splitting_keeps_order(self):
+        # Enough entries to force several splits, inserted adversarially:
+        # ascending, descending, then interleaved.
+        index = OrderedIndex("s")
+        model = SortedListModel()
+        n = 3 * _LOAD
+        for i in range(n):
+            index.insert((f"a{i:06d}",), i)
+            model.insert((f"a{i:06d}",), i)
+        for i in range(n, 2 * n):
+            j = 3 * n - i  # descending
+            index.insert((f"a{j:06d}",), j)
+            model.insert((f"a{j:06d}",), j)
+        assert list(index.items()) == model.entries
+        assert len(index._blocks) > 1  # the structure really is blocked
+        assert all(len(block) <= 2 * _LOAD for block in index._blocks)
+
+    def test_delete_drains_blocks(self):
+        index = OrderedIndex("d")
+        entries = [((f"k{i:05d}",), i) for i in range(4 * _LOAD)]
+        for key, rowid in entries:
+            index.insert(key, rowid)
+        for key, rowid in entries[::2] + entries[1::2]:
+            index.delete(key, rowid)
+        assert len(index) == 0
+        assert index.min_key() is None and index.max_key() is None
+        assert list(index.items()) == []
+
+
+class TestRangeSentinels:
+    def test_exclusive_bounds_with_non_numeric_rowids(self):
+        # The seed used (low, float("inf")) as the exclusive-low probe,
+        # which raises TypeError when row ids are not numbers.
+        index = OrderedIndex("r")
+        for key, rowid in ((("a",), "r1"), (("a",), "r2"), (("b",), "r3")):
+            index.insert(key, rowid)
+        assert list(index.range(low=("a",), include_low=False)) == ["r3"]
+        assert list(index.range(low=("a",), high=("b",), include_high=False)) == [
+            "r1",
+            "r2",
+        ]
+
+    def test_exclusive_low_skips_all_duplicates(self):
+        index = OrderedIndex("r")
+        for rowid in range(5):
+            index.insert(("x",), rowid)
+        index.insert(("y",), 99)
+        assert list(index.range(low=("x",), include_low=False)) == [99]

@@ -237,3 +237,100 @@ class TestTable:
         table.insert((1, "I", "T/a", None))
         table.create_index(IndexSpec("by_op", ("op",)))
         assert len(list(table.lookup_index("by_op", ("I",)))) == 1
+
+    def test_range_scan(self):
+        table = Table(prov_schema())
+        for tid, loc in ((1, "T/a"), (2, "T/b"), (3, "T/c"), (4, "T/d")):
+            table.insert((tid, "I", loc, None))
+        rows = list(table.range_scan("prov_loc", low=("T/b",), high=("T/c",)))
+        assert [row[2] for _rid, row in rows] == ["T/b", "T/c"]
+        rows = list(table.range_scan("prov_loc", low=("T/b",), include_low=False))
+        assert [row[2] for _rid, row in rows] == ["T/c", "T/d"]
+        with pytest.raises(ConstraintError):
+            list(table.range_scan("prov_tid", low=(1,)))
+
+
+class TestUpdateRow:
+    """Regression: a failing update must never destroy the old row.
+
+    The seed implemented update as delete_row + insert, so a constraint
+    violation in the new row deleted the old one before failing.
+    """
+
+    def test_pk_collision_keeps_old_row(self):
+        table = Table(prov_schema())
+        table.insert((1, "I", "T/a", None))
+        rowid = table.insert((2, "I", "T/b", None))
+        with pytest.raises(DuplicateKeyError):
+            table.update_row(rowid, {"tid": 1, "loc": "T/a"})
+        # the row is intact, in the heap and in every index
+        assert table.get(rowid) == (2, "I", "T/b", None)
+        assert table.lookup_pk((2, "T/b")) == (rowid, (2, "I", "T/b", None))
+        assert [rid for rid, _row in table.lookup_index("prov_tid", (2,))] == [rowid]
+        assert [rid for rid, _row in table.lookup_index("prov_loc", ("T/b",))] == [rowid]
+        assert table.row_count == 2
+
+    def test_unique_secondary_collision_keeps_old_row(self):
+        schema = TableSchema(
+            "t",
+            [Column("k", ColumnType.INT), Column("u", ColumnType.TEXT)],
+            primary_key=("k",),
+            indexes=(IndexSpec("t_u", ("u",), unique=True),),
+        )
+        table = Table(schema)
+        table.insert((1, "a"))
+        rowid = table.insert((2, "b"))
+        with pytest.raises(DuplicateKeyError):
+            table.update_row(rowid, {"u": "a"})
+        assert table.get(rowid) == (2, "b")
+        assert [rid for rid, _row in table.lookup_index("t_u", ("b",))] == [rowid]
+
+    def test_null_pk_rejected_keeps_old_row(self):
+        schema = TableSchema(
+            "t",
+            [Column("k", ColumnType.INT, nullable=False), Column("v", ColumnType.TEXT)],
+            primary_key=("k",),
+        )
+        table = Table(schema)
+        rowid = table.insert((1, "x"))
+        with pytest.raises(SchemaError):
+            # NOT NULL is caught by row normalization before any mutation
+            table.update_row(rowid, {"k": None})
+        assert table.get(rowid) == (1, "x")
+        assert table.lookup_pk((1,)) == (rowid, (1, "x"))
+
+    def test_delta_maintenance_only_touches_changed_indexes(self):
+        table = Table(prov_schema())
+        rowid = table.insert((1, "I", "T/a", None))
+        # op is not covered by any index: the loc/tid indexes keep their
+        # entries (same projections), and the heap row changes in place
+        old, new = table.update_row(rowid, {"op": "C", "src": "S/a"})
+        assert old == (1, "I", "T/a", None) and new == (1, "C", "T/a", "S/a")
+        assert table.lookup_pk((1, "T/a")) == (rowid, new)
+        assert [rid for rid, _row in table.lookup_index("prov_loc", ("T/a",))] == [rowid]
+        # and a key-column change moves the entry
+        table.update_row(rowid, {"loc": "T/z"})
+        assert not list(table.lookup_index("prov_loc", ("T/a",)))
+        assert [rid for rid, _row in table.lookup_index("prov_loc", ("T/z",))] == [rowid]
+
+    def test_update_preserves_scan_order(self):
+        table = Table(prov_schema())
+        table.insert((1, "I", "T/a", None))
+        rowid = table.insert((2, "I", "T/b", None))
+        table.insert((3, "I", "T/c", None))
+        table.update_row(rowid, {"loc": "T/zzz"})
+        assert [row[0] for _rid, row in table.scan()] == [1, 2, 3]
+
+    def test_max_stat_tracks_updates_and_deletes(self):
+        table = Table(prov_schema())
+        table.track_max("tid")
+        assert table.max_value("tid") is None
+        r1 = table.insert((5, "I", "T/a", None))
+        table.insert((9, "I", "T/b", None))
+        assert table.max_value("tid") == 9
+        table.update_row(r1, {"tid": 12})
+        assert table.max_value("tid") == 12
+        table.delete_row(r1)
+        assert table.max_value("tid") == 9
+        table.clear()
+        assert table.max_value("tid") is None
