@@ -29,6 +29,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..common.clock import CostModel, VirtualClock
 from ..storage.db import Database
+from ..storage.index import MAX_KEY
 from ..storage.schema import Column, IndexSpec, TableSchema
 from ..storage.types import ColumnType
 from .paths import Path
@@ -93,7 +94,11 @@ def prov_schema(table_name: str = "prov") -> TableSchema:
         primary_key=("tid", "loc"),
         indexes=(
             IndexSpec(f"{table_name}_tid", ("tid",)),
-            IndexSpec(f"{table_name}_loc", ("loc",), ordered=True),
+            # ordered on (loc, tid): prefix scans on loc still serve the
+            # descendant queries, and the tid component lets time-travel
+            # reads push their version window into the index instead of
+            # fetching every epoch and filtering client-side
+            IndexSpec(f"{table_name}_loc", ("loc", "tid"), ordered=True),
         ),
     )
 
@@ -170,8 +175,22 @@ class ProvTable:
         self._charge_read(len(rows), category)
         return sorted((ProvRecord.from_row(row) for row in rows), key=_record_order)
 
-    def records_at_loc(self, loc: Path, category: str = "query") -> List[ProvRecord]:
-        rows = [row for _rid, row in self._table.lookup_index(f"{self.table_name}_loc", (str(loc),))]
+    def _loc_rows(self, text: str, max_tid: Optional[int] = None) -> List[Tuple]:
+        """Rows at exactly ``text``, optionally only those with
+        ``tid <= max_tid`` — one ordered-index range scan over the
+        composite ``(loc, tid)`` key, streamed in tid order."""
+        high = (text, MAX_KEY) if max_tid is None else (text, max_tid)
+        return [
+            row
+            for _rid, row in self._table.range_scan(
+                f"{self.table_name}_loc", low=(text,), high=high
+            )
+        ]
+
+    def records_at_loc(
+        self, loc: Path, category: str = "query", max_tid: Optional[int] = None
+    ) -> List[ProvRecord]:
+        rows = self._loc_rows(str(loc), max_tid)
         self._charge_read(len(rows), category)
         return sorted((ProvRecord.from_row(row) for row in rows), key=_record_order)
 
@@ -180,24 +199,24 @@ class ProvTable:
         pattern, ``loc LIKE 'p/%' OR loc = 'p'``)."""
         text = str(prefix)
         rows = [row for _rid, row in self._table.prefix_scan(f"{self.table_name}_loc", text + "/")]
-        rows += [row for _rid, row in self._table.lookup_index(f"{self.table_name}_loc", (text,))]
+        rows += self._loc_rows(text)
         self._charge_read(len(rows), category)
         return sorted((ProvRecord.from_row(row) for row in rows), key=_record_order)
 
     def records_at_locs(
-        self, locs: Sequence[Path], category: str = "query"
+        self,
+        locs: Sequence[Path],
+        category: str = "query",
+        max_tid: Optional[int] = None,
     ) -> List[ProvRecord]:
         """Records at any of ``locs``, in *one* round trip (the stored
         procedures batch their location probes into a single
-        ``loc IN (...)`` query)."""
+        ``loc IN (...)`` query).  ``max_tid`` is the time-travel version
+        window — ``AND tid <= max_tid`` pushed into the index range
+        instead of fetched and filtered client-side."""
         rows = []
         for loc in locs:
-            rows.extend(
-                row
-                for _rid, row in self._table.lookup_index(
-                    f"{self.table_name}_loc", (str(loc),)
-                )
-            )
+            rows.extend(self._loc_rows(str(loc), max_tid))
         self._charge_read(len(rows), category)
         return sorted((ProvRecord.from_row(row) for row in rows), key=_record_order)
 

@@ -85,17 +85,24 @@ class ProvenanceQueries:
     # ------------------------------------------------------------------
     # Basic views
     # ------------------------------------------------------------------
-    def _fetch_for(self, position: Path) -> Dict[Tuple[int, Path], ProvRecord]:
+    def _fetch_for(
+        self, position: Path, bound: Optional[int] = None
+    ) -> Dict[Tuple[int, Path], ProvRecord]:
         """One basic query: all records at ``position`` (and, for
         hierarchical stores, at its ancestors — their records cover the
-        subtree), keyed by ``(tid, loc)`` for the client-side walk."""
+        subtree), keyed by ``(tid, loc)`` for the client-side walk.
+
+        ``bound`` is the time-travel version window: records of later
+        transactions are irrelevant to a walk bounded at ``bound``, so
+        the ``tid <= bound`` cut is pushed into the store's index range
+        instead of being filtered client-side after a full fetch."""
         locs = [position]
         if self.store.hierarchical:
             for ancestor in position.ancestors():
                 if len(ancestor) < 1:
                     break
                 locs.append(ancestor)
-        records = self.table.records_at_locs(locs)
+        records = self.table.records_at_locs(locs, max_tid=bound)
         return {(record.tid, record.loc): record for record in records}
 
     def _effective_from(
@@ -128,7 +135,7 @@ class ProvenanceQueries:
         """The (possibly inferred) record at ``(tid, loc)``; ``None``
         means the location was unchanged in that transaction."""
         loc = Path.of(loc)
-        return self._effective_from(self._fetch_for(loc), tid, loc)
+        return self._effective_from(self._fetch_for(loc, bound=tid), tid, loc)
 
     def in_target(self, loc: Path) -> bool:
         return not loc.is_root and loc.head == self.target_name
@@ -174,7 +181,7 @@ class ProvenanceQueries:
         position = Path.of(loc)
         steps: List[TraceStep] = []
         while bound >= self.first_tid:
-            cache = self._fetch_for(position)
+            cache = self._fetch_for(position, bound=bound)
             record = self._latest_in(cache, position, bound)
             if record is None:
                 # unchanged all the way back to the first transaction
@@ -254,7 +261,7 @@ class ProvenanceQueries:
         inference ("each query must process all the descendants of a
         node, including ones not listed in the provenance store") is the
         overhead that makes getMod slower on hierarchical stores."""
-        cache = self._fetch_for(root)
+        cache = self._fetch_for(root, bound=bound)
         # Insert barrier: an I record at root proves the location did not
         # exist just before that transaction (inserts require absence), so
         # earlier ancestor records cannot have covered it.  Without this,

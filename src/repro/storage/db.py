@@ -244,8 +244,10 @@ class Database:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def plan(self, query: Query) -> PlanNode:
-        return plan_query(self.tables, query)
+    def plan(self, query: Query, *, naive: bool = False) -> PlanNode:
+        """The physical plan for ``query``; ``naive=True`` forces the
+        rule-free SeqScan+Sort oracle plan (differential testing)."""
+        return plan_query(self.tables, query, naive=naive)
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
         return list(self.plan(query).execute())

@@ -26,6 +26,7 @@ __all__ = [
     "PrefixMatch",
     "Concat",
     "conjuncts",
+    "column_bound",
 ]
 
 Env = Dict[str, Any]
@@ -210,6 +211,26 @@ class Concat(Expr):
         for part in self.parts:
             result |= part.columns()
         return result
+
+
+_FLIPPED_OPS = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def column_bound(expr: Expr) -> Optional[Tuple[str, str, Any]]:
+    """Normalize a column-vs-constant comparison to ``(column, op, value)``.
+
+    Both orientations are recognized (``k < 5`` and ``5 > k`` mean the
+    same bound); anything that is not a ``Col``/``Const`` comparison with
+    one of ``= < <= > >=`` returns ``None``.  This is the single shape
+    the planner's interval analysis consumes.
+    """
+    if not isinstance(expr, Cmp) or expr.op not in _FLIPPED_OPS:
+        return None
+    if isinstance(expr.left, Col) and isinstance(expr.right, Const):
+        return (expr.left.name, expr.op, expr.right.value)
+    if isinstance(expr.left, Const) and isinstance(expr.right, Col):
+        return (expr.right.name, _FLIPPED_OPS[expr.op], expr.left.value)
+    return None
 
 
 def conjuncts(expr: Optional[Expr]) -> Iterator[Expr]:

@@ -21,7 +21,7 @@ from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from .errors import DuplicateKeyError
 
-__all__ = ["HashIndex", "OrderedIndex"]
+__all__ = ["HashIndex", "OrderedIndex", "MIN_KEY", "MAX_KEY"]
 
 Key = Tuple[Any, ...]
 Entry = Tuple[Key, int]
@@ -91,12 +91,28 @@ class _Extreme:
     def __gt__(self, other: object) -> bool:
         return not self._below
 
+    # tuple rich comparison applies <=/>= (not </==) to the first
+    # differing element, so sentinels need the non-strict forms too
+    def __le__(self, other: object) -> bool:
+        return self._below
+
+    def __ge__(self, other: object) -> bool:
+        return not self._below
+
     def __repr__(self) -> str:
         return "_MIN" if self._below else "_MAX"
 
 
 _MIN = _Extreme(True)
 _MAX = _Extreme(False)
+
+#: Public sentinels for *key components*: callers building partial-key
+#: bounds over multi-column ordered indexes pad the missing trailing
+#: columns with these, e.g. ``high=("T/a", MAX_KEY)`` for "every entry
+#: whose first column is T/a".  They compare below/above every real
+#: value (including ``None``, via the reflected operators).
+MIN_KEY = _MIN
+MAX_KEY = _MAX
 
 #: Split threshold: a block holding more than ``2 * _LOAD`` entries is
 #: halved.  1024 keeps per-block memmoves small (a few KB of pointers)
@@ -150,6 +166,23 @@ class OrderedIndex:
             yield block[position]
         for pos in range(block_pos + 1, len(blocks)):
             yield from blocks[pos]
+
+    def _iter_back(self, block_pos: int, slot: int) -> Iterator[Entry]:
+        """Entries strictly before position ``(block_pos, slot)``, in
+        descending order (the mirror of :meth:`_iter_from`)."""
+        blocks = self._blocks
+        if not blocks:
+            return
+        if block_pos >= len(blocks):
+            block_pos = len(blocks) - 1
+            slot = len(blocks[block_pos])
+        block = blocks[block_pos]
+        for position in range(min(slot, len(block)) - 1, -1, -1):
+            yield block[position]
+        for pos in range(block_pos - 1, -1, -1):
+            block = blocks[pos]
+            for position in range(len(block) - 1, -1, -1):
+                yield block[position]
 
     def _entry_at(self, block_pos: int, slot: int) -> Optional[Entry]:
         if block_pos >= len(self._blocks):
@@ -237,8 +270,17 @@ class OrderedIndex:
         high: Optional[Key] = None,
         include_low: bool = True,
         include_high: bool = True,
+        reverse: bool = False,
     ) -> Iterator[int]:
-        """Yield row ids with ``low <= key <= high`` (bounds optional)."""
+        """Yield row ids with ``low <= key <= high`` (bounds optional).
+
+        ``reverse=True`` streams the same entries in descending key
+        order — the access path behind ``ORDER BY k DESC`` without a
+        sort.
+        """
+        if reverse:
+            yield from self._range_back(low, high, include_low, include_high)
+            return
         if low is None:
             start = (0, 0)
         elif include_low:
@@ -251,6 +293,28 @@ class OrderedIndex:
                     if key > high:
                         break
                 elif key >= high:
+                    break
+            yield rowid
+
+    def _range_back(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        include_low: bool,
+        include_high: bool,
+    ) -> Iterator[int]:
+        if high is None:
+            start = (len(self._blocks), 0)
+        elif include_high:
+            start = self._find_right((high, _MAX))
+        else:
+            start = self._find_left((high, _MIN))
+        for key, rowid in self._iter_back(*start):
+            if low is not None:
+                if include_low:
+                    if key < low:
+                        break
+                elif key <= low:
                     break
             yield rowid
 

@@ -102,10 +102,11 @@ class IndexPrefixScan(PlanNode):
 class IndexRangeScan(PlanNode):
     """Streaming scan of an ordered index restricted to ``[low, high]``.
 
-    Rows arrive in index-key order, so a downstream ORDER BY on the same
-    key needs no sort.  Bounds are optional (open-ended) and may each be
-    exclusive, mapping the planner-visible ``k >= lo AND k < hi`` shapes
-    onto the blocked ordered index's range iterator.
+    Rows arrive in index-key order (descending with ``reverse``), so a
+    downstream ORDER BY on the same key needs no sort.  Bounds are
+    optional (open-ended) and may each be exclusive, mapping the
+    planner-visible ``k >= lo AND k < hi`` shapes onto the blocked
+    ordered index's range iterator.
     """
 
     table: Table
@@ -115,10 +116,16 @@ class IndexRangeScan(PlanNode):
     include_low: bool = True
     include_high: bool = True
     alias: Optional[str] = None
+    reverse: bool = False
 
     def execute(self) -> Iterator[Env]:
         rows = self.table.range_scan(
-            self.index_name, self.low, self.high, self.include_low, self.include_high
+            self.index_name,
+            self.low,
+            self.high,
+            self.include_low,
+            self.include_high,
+            self.reverse,
         )
         for _rowid, row in rows:
             yield _env_from_row(self.table, row, self.alias)
@@ -126,9 +133,10 @@ class IndexRangeScan(PlanNode):
     def describe(self) -> str:
         low_bracket = "[" if self.include_low else "("
         high_bracket = "]" if self.include_high else ")"
+        direction = " desc" if self.reverse else ""
         return (
             f"IndexRangeScan({self.table.schema.name}.{self.index_name} in "
-            f"{low_bracket}{self.low!r}, {self.high!r}{high_bracket})"
+            f"{low_bracket}{self.low!r}, {self.high!r}{high_bracket}{direction})"
         )
 
 
@@ -248,6 +256,31 @@ def _null_safe_key(value: Any) -> Tuple[int, Any]:
     return (1, type(value).__name__, value)
 
 
+def _hashable_key(value: Any) -> Any:
+    """A hashable, type-discriminating stand-in for ``value``.
+
+    Built on :func:`_null_safe_key` so NULL is distinct from every real
+    value and ``0``/``False``/``0.0`` (equal and hash-equal in Python)
+    stay distinct across types.  Unhashable containers are converted
+    structurally; anything else falls back to its ``repr``.
+    """
+    marker, type_name, value = _null_safe_key(value)
+    try:
+        hash(value)
+    except TypeError:
+        if isinstance(value, (list, tuple)):
+            value = tuple(_hashable_key(part) for part in value)
+        elif isinstance(value, (set, frozenset)):
+            value = frozenset(_hashable_key(part) for part in value)
+        elif isinstance(value, dict):
+            value = tuple(
+                sorted((repr(k), _hashable_key(v)) for k, v in value.items())
+            )
+        else:
+            value = repr(value)
+    return (marker, type_name, value)
+
+
 @dataclass
 class LimitNode(PlanNode):
     child: PlanNode
@@ -326,7 +359,9 @@ class DistinctNode(PlanNode):
     def execute(self) -> Iterator[Env]:
         seen = set()
         for env in self.child.execute():
-            key = tuple(sorted(env.items(), key=lambda kv: kv[0]))
+            key = tuple(
+                (name, _hashable_key(env[name])) for name in sorted(env)
+            )
             if key not in seen:
                 seen.add(key)
                 yield env

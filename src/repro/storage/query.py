@@ -1,13 +1,26 @@
 """Logical queries and a rule-based planner choosing index access paths.
 
-The planner applies three rules, in order, to each table access:
+The planner applies four rules, in order, to each table access:
 
 1. an equality conjunct covering an index's columns → ``IndexEqScan``;
 2. a ``PrefixMatch`` conjunct on the first column of an *ordered* index
    → ``IndexPrefixScan`` (the ``loc LIKE 'p/%'`` descendant pattern);
-3. otherwise → ``SeqScan``.
+3. merged comparison bounds (``k >= lo``, ``k < hi``, BETWEEN-shaped
+   pairs, and equality prefixes on multi-column indexes) on an ordered
+   index → ``IndexRangeScan``; an ordered index whose key order matches
+   the requested ORDER BY is also eligible with open bounds, so ``ORDER
+   BY k LIMIT n`` can stream;
+4. otherwise → ``SeqScan``.
 
 Residual conjuncts stay in a ``FilterNode`` above the access path.
+
+*Interesting orders*: when the chosen access path already yields rows in
+the requested ORDER BY order — an ordered-index scan whose key columns
+(minus equality-bound ones) lead with the ORDER BY columns, possibly
+scanned in reverse for DESC — the trailing ``SortNode`` is elided and
+``LimitNode`` streams.  ``plan_query(..., naive=True)`` disables every
+rule (forced ``SeqScan`` + ``FilterNode`` + ``SortNode``), which is the
+oracle side of the differential plan-equivalence tests.
 """
 
 from __future__ import annotations
@@ -16,7 +29,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .errors import UnknownTableError
-from .expr import And, Cmp, Col, Const, Expr, PrefixMatch, conjuncts
+from .expr import And, Cmp, Col, Const, Expr, PrefixMatch, column_bound, conjuncts
+from .index import MAX_KEY
 from .plan import (
     AggregateNode,
     DistinctNode,
@@ -24,6 +38,7 @@ from .plan import (
     HashJoinNode,
     IndexEqScan,
     IndexPrefixScan,
+    IndexRangeScan,
     LimitNode,
     PlanNode,
     ProjectNode,
@@ -31,6 +46,7 @@ from .plan import (
     SortNode,
 )
 from .table import Table
+from .types import ColumnType
 
 __all__ = ["TableRef", "JoinSpec", "Query", "plan_query"]
 
@@ -107,23 +123,190 @@ def _strip_alias(name: str, binding: str) -> str:
     return name[len(prefix):] if name.startswith(prefix) else name
 
 
+# ----------------------------------------------------------------------
+# Interval analysis
+# ----------------------------------------------------------------------
+
+
+class _Interval:
+    """Merged comparison bounds for one column.
+
+    ``low``/``high`` are ``(value, inclusive)`` or ``None`` (open);
+    ``sources`` are the conjuncts the merged bounds subsume.  Merging
+    incomparable values (mixed-type bounds) marks the interval unusable
+    — those conjuncts stay in the filter, where ``Cmp.eval`` defines
+    their semantics.
+    """
+
+    __slots__ = ("low", "high", "sources", "usable")
+
+    def __init__(self) -> None:
+        self.low: Optional[Tuple[Any, bool]] = None
+        self.high: Optional[Tuple[Any, bool]] = None
+        self.sources: List[Expr] = []
+        self.usable = True
+
+    @property
+    def bounded(self) -> bool:
+        return self.low is not None or self.high is not None
+
+    def tighten(self, op: str, value: Any, source: Expr) -> None:
+        if not self.usable:
+            return
+        inclusive = op in (">=", "<=")
+        try:
+            if op in (">", ">="):
+                if self.low is None or value > self.low[0]:
+                    self.low = (value, inclusive)
+                elif value == self.low[0]:
+                    self.low = (value, self.low[1] and inclusive)
+            else:  # "<" or "<="
+                if self.high is None or value < self.high[0]:
+                    self.high = (value, inclusive)
+                elif value == self.high[0]:
+                    self.high = (value, self.high[1] and inclusive)
+        except TypeError:
+            self.usable = False
+            return
+        self.sources.append(source)
+
+
+def _analyze_intervals(local: List[Expr], binding: str) -> Dict[str, _Interval]:
+    """Merge the local ``< <= > >=`` conjuncts into per-column intervals."""
+    intervals: Dict[str, _Interval] = {}
+    for part in local:
+        bound = column_bound(part)
+        if bound is None or bound[1] == "=":
+            continue
+        column, op, value = bound
+        column = _strip_alias(column, binding)
+        intervals.setdefault(column, _Interval()).tighten(op, value, part)
+    return {column: iv for column, iv in intervals.items() if iv.usable and iv.bounded}
+
+
+_NUMERIC = (ColumnType.INT, ColumnType.REAL)
+_TEXTUAL = (ColumnType.TEXT, ColumnType.CHAR)
+
+
+def _bound_safe(table: Table, column: str, values: Sequence[Any]) -> bool:
+    """True when index-probing ``column`` with ``values`` cannot raise.
+
+    Ordered-index bisection compares bound constants against stored
+    values, so the column must be NOT NULL (a NULL key would make the
+    comparison raise, where the equivalent ``Cmp`` filter is simply
+    False) and the constants must live in the column's type family.
+    """
+    if not table.schema.has_column(column):
+        return False
+    spec = table.schema.column(column)
+    if spec.nullable:
+        return False
+    if spec.type in _NUMERIC:
+        return all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+        )
+    if spec.type in _TEXTUAL:
+        return all(isinstance(v, str) for v in values)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Interesting orders
+# ----------------------------------------------------------------------
+
+
+def _order_columns(
+    query: Query, binding: str, table: Table
+) -> Optional[List[Tuple[str, bool]]]:
+    """The ORDER BY as ``(base-table column, descending)`` pairs, or
+    ``None`` when it cannot be attributed to the base access path
+    (joins, grouping, non-column keys, unknown columns).
+
+    ``SortNode`` runs above the projection, so with explicit outputs an
+    ORDER BY key must resolve *through* the projection to a plain base
+    column; otherwise elision is refused and the plan keeps the sort —
+    including the case where the sort would fail on a projected-away
+    column, which must fail identically with or without indexes.
+    """
+    if not query.order_by or query.joins or query.aggregates or query.group_by:
+        return None
+    outputs: Optional[Dict[str, Expr]] = None
+    if query.outputs is not None:
+        outputs = dict(query.outputs)
+    spec: List[Tuple[str, bool]] = []
+    for expr, descending in query.order_by:
+        if not isinstance(expr, Col):
+            return None
+        if outputs is not None:
+            projected = outputs.get(expr.name)
+            if not isinstance(projected, Col):
+                return None
+            expr = projected
+        column = _strip_alias(expr.name, binding)
+        if not table.schema.has_column(column):
+            return None
+        spec.append((column, descending))
+    return spec
+
+
+def _trivial_order(
+    order_spec: Optional[List[Tuple[str, bool]]], eq_columns: Sequence[str]
+) -> bool:
+    """Every ORDER BY column pinned to a constant → any row order works."""
+    return order_spec is not None and all(c in eq_columns for c, _d in order_spec)
+
+
+def _match_index_order(
+    index_columns: Sequence[str],
+    eq_columns: Sequence[str],
+    order_spec: Optional[List[Tuple[str, bool]]],
+) -> Optional[bool]:
+    """Whether a scan of an ordered index satisfies the ORDER BY.
+
+    Equality-bound columns are constant in the output, so they can be
+    dropped from both the ORDER BY and the index key.  The remaining
+    ORDER BY columns must be a prefix of the remaining index columns
+    with one shared direction.  Returns ``None`` (unsatisfiable),
+    ``False`` (forward scan), or ``True`` (reverse scan).
+    """
+    if order_spec is None:
+        return None
+    keys = [(c, d) for c, d in order_spec if c not in eq_columns]
+    if not keys:
+        return False
+    direction = keys[0][1]
+    if any(d != direction for _c, d in keys):
+        return None
+    available = [c for c in index_columns if c not in eq_columns]
+    if [c for c, _d in keys] != available[: len(keys)]:
+        return None
+    return direction
+
+
+# ----------------------------------------------------------------------
+# Access-path selection
+# ----------------------------------------------------------------------
+
+
 def _choose_access_path(
-    table: Table, binding: str, alias: Optional[str], local: List[Expr]
-) -> Tuple[PlanNode, List[Expr]]:
-    """Apply the planner rules; returns the access node and leftover
-    conjuncts that must still be filtered."""
+    table: Table,
+    binding: str,
+    alias: Optional[str],
+    local: List[Expr],
+    order_spec: Optional[List[Tuple[str, bool]]] = None,
+) -> Tuple[PlanNode, List[Expr], bool]:
+    """Apply the planner rules; returns the access node, leftover
+    conjuncts that must still be filtered, and whether the node already
+    yields rows in the requested ORDER BY order."""
     eq_bindings: Dict[str, Any] = {}
     eq_sources: Dict[str, Expr] = {}
     for part in local:
-        if isinstance(part, Cmp) and part.op == "=":
-            if isinstance(part.left, Col) and isinstance(part.right, Const):
-                column = _strip_alias(part.left.name, binding)
-                eq_bindings[column] = part.right.value
-                eq_sources[column] = part
-            elif isinstance(part.right, Col) and isinstance(part.left, Const):
-                column = _strip_alias(part.right.name, binding)
-                eq_bindings[column] = part.left.value
-                eq_sources[column] = part
+        bound = column_bound(part)
+        if bound is not None and bound[1] == "=":
+            column = _strip_alias(bound[0], binding)
+            eq_bindings[column] = bound[2]
+            eq_sources[column] = part
+    eq_columns = tuple(eq_bindings)
 
     # Rule 1: equality index (including the primary-key-backed indexes).
     for spec in table.index_specs.values():
@@ -131,7 +314,8 @@ def _choose_access_path(
             key = tuple(eq_bindings[column] for column in spec.columns)
             used = {eq_sources[column] for column in spec.columns}
             leftover = [part for part in local if part not in used]
-            return IndexEqScan(table, spec.name, key, alias), leftover
+            node = IndexEqScan(table, spec.name, key, alias)
+            return node, leftover, _trivial_order(order_spec, eq_columns)
 
     # Rule 2: prefix scan on an ordered index.
     for part in local:
@@ -141,14 +325,141 @@ def _choose_access_path(
                 if spec.ordered and spec.columns[0] == column:
                     leftover = [p for p in local if p is not part]
                     # the prefix scan is exact (startswith), nothing residual
-                    return IndexPrefixScan(table, spec.name, part.prefix, alias), leftover
+                    node = IndexPrefixScan(table, spec.name, part.prefix, alias)
+                    ordered = (
+                        _match_index_order(spec.columns, eq_columns, order_spec)
+                        is False  # forward scans only
+                    )
+                    return node, leftover, ordered
 
-    # Rule 3: fall back to a sequential scan.
-    return SeqScan(table, alias), list(local)
+    # Rule 3: range scan on an ordered index.  Candidates score by how
+    # much they push into the index: equality-bound leading columns, a
+    # bounded range on the next column, and ORDER BY satisfaction.
+    intervals = _analyze_intervals(local, binding)
+    best: Optional[Tuple[Tuple[int, int, int], IndexSpecChoice]] = None
+    for spec in table.index_specs.values():
+        if not spec.ordered:
+            continue
+        eq_len = 0
+        while (
+            eq_len < len(spec.columns)
+            and spec.columns[eq_len] in eq_bindings
+            and _bound_safe(
+                table, spec.columns[eq_len], [eq_bindings[spec.columns[eq_len]]]
+            )
+        ):
+            eq_len += 1
+        # rule 1 failed, so at least one column is not equality-bound
+        eq_len = min(eq_len, len(spec.columns) - 1)
+        range_column = spec.columns[eq_len]
+        interval = intervals.get(range_column)
+        if interval is not None:
+            bound_values = [pair[0] for pair in (interval.low, interval.high) if pair]
+            if not _bound_safe(table, range_column, bound_values):
+                interval = None
+        direction = _match_index_order(spec.columns, eq_columns, order_spec)
+        satisfies_order = direction is not None
+        if eq_len == 0 and interval is None and not satisfies_order:
+            continue  # nothing to push down; a full index scan buys nothing
+        bounds = int(interval is not None and interval.low is not None) + int(
+            interval is not None and interval.high is not None
+        )
+        score = (eq_len, bounds, int(satisfies_order))
+        choice = IndexSpecChoice(spec.name, spec.columns, eq_len, interval, direction)
+        if best is None or score > best[0]:
+            best = (score, choice)
+    if best is not None:
+        choice = best[1]
+        node = _range_scan_node(table, alias, choice, eq_bindings)
+        used = {eq_sources[c] for c in choice.columns[: choice.eq_len]}
+        if choice.interval is not None:
+            used.update(choice.interval.sources)
+        leftover = [part for part in local if part not in used]
+        return node, leftover, choice.direction is not None
+
+    # Rule 4: fall back to a sequential scan.
+    node = SeqScan(table, alias)
+    return node, list(local), _trivial_order(order_spec, eq_columns)
 
 
-def plan_query(tables: Dict[str, Table], query: Query) -> PlanNode:
-    """Compile a logical query to a physical plan."""
+@dataclass(frozen=True)
+class IndexSpecChoice:
+    """A scored rule-3 candidate: which ordered index, how many leading
+    equality columns, the (possibly absent) range interval on the next
+    column, and the scan direction satisfying the ORDER BY (``None``
+    when it does not)."""
+
+    name: str
+    columns: Tuple[str, ...]
+    eq_len: int
+    interval: Optional[_Interval]
+    direction: Optional[bool]
+
+
+def _range_scan_node(
+    table: Table,
+    alias: Optional[str],
+    choice: IndexSpecChoice,
+    eq_bindings: Dict[str, Any],
+) -> IndexRangeScan:
+    """Convert merged bounds into index-key bounds.
+
+    Keys in a multi-column index extend the bounded prefix, and a short
+    tuple sorts before any of its extensions — so inclusive-low bounds
+    need no padding, while inclusive-high (and exclusive-low) bounds are
+    padded with ``MAX_KEY`` so every extension of the bound prefix falls
+    on the correct side.
+    """
+    prefix = tuple(eq_bindings[c] for c in choice.columns[: choice.eq_len])
+    extra = len(choice.columns) - choice.eq_len - 1
+    low: Optional[Tuple[Any, ...]] = None
+    high: Optional[Tuple[Any, ...]] = None
+    include_low = include_high = True
+    interval = choice.interval
+    if interval is not None and interval.low is not None:
+        value, inclusive = interval.low
+        if inclusive:
+            low = prefix + (value,)
+        else:
+            low, include_low = prefix + (value,) + (MAX_KEY,) * extra, False
+    elif choice.eq_len:
+        low = prefix
+    if interval is not None and interval.high is not None:
+        value, inclusive = interval.high
+        if inclusive:
+            high = prefix + (value,) + (MAX_KEY,) * extra
+        else:
+            high, include_high = prefix + (value,), False
+    elif choice.eq_len:
+        high = prefix + (MAX_KEY,) * (len(choice.columns) - choice.eq_len)
+    return IndexRangeScan(
+        table,
+        choice.name,
+        low,
+        high,
+        include_low,
+        include_high,
+        alias,
+        reverse=choice.direction is True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Query compilation
+# ----------------------------------------------------------------------
+
+
+def plan_query(
+    tables: Dict[str, Table], query: Query, *, naive: bool = False
+) -> PlanNode:
+    """Compile a logical query to a physical plan.
+
+    ``naive=True`` disables every planner rule: each table access is a
+    forced ``SeqScan`` with all pushable conjuncts in ``FilterNode``s and
+    ORDER BY always realized by a ``SortNode`` — the seed planner's
+    behavior, kept as the oracle for differential plan-equivalence
+    testing and the baseline for planner benchmarks.
+    """
 
     def get_table(ref: TableRef) -> Table:
         try:
@@ -158,9 +469,14 @@ def plan_query(tables: Dict[str, Table], query: Query) -> PlanNode:
 
     base_table = get_table(query.table)
     local, residual = _split_predicate_for(query.table.binding, base_table, query.where)
-    node, leftover = _choose_access_path(
-        base_table, query.table.binding, query.table.alias, local
-    )
+    if naive:
+        node: PlanNode = SeqScan(base_table, query.table.alias)
+        leftover, order_satisfied = local, False
+    else:
+        order_spec = _order_columns(query, query.table.binding, base_table)
+        node, leftover, order_satisfied = _choose_access_path(
+            base_table, query.table.binding, query.table.alias, local, order_spec
+        )
     if leftover:
         node = FilterNode(node, And(*leftover) if len(leftover) > 1 else leftover[0])
 
@@ -169,9 +485,13 @@ def plan_query(tables: Dict[str, Table], query: Query) -> PlanNode:
         right_local, residual = _split_predicate_for(
             join.table.binding, right_table, residual
         )
-        right_node, right_leftover = _choose_access_path(
-            right_table, join.table.binding, join.table.alias, right_local
-        )
+        if naive:
+            right_node: PlanNode = SeqScan(right_table, join.table.alias)
+            right_leftover = right_local
+        else:
+            right_node, right_leftover, _ = _choose_access_path(
+                right_table, join.table.binding, join.table.alias, right_local
+            )
         if right_leftover:
             right_node = FilterNode(
                 right_node,
@@ -192,7 +512,7 @@ def plan_query(tables: Dict[str, Table], query: Query) -> PlanNode:
 
     if query.distinct:
         node = DistinctNode(node)
-    if query.order_by:
+    if query.order_by and not order_satisfied:
         node = SortNode(node, query.order_by)
     if query.limit is not None or query.offset:
         node = LimitNode(node, query.limit, query.offset)

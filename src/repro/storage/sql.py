@@ -13,9 +13,10 @@ Supported statements::
     DELETE FROM t [WHERE predicate]
     UPDATE t SET col = lit, ... [WHERE predicate]
 
-Predicates support ``= != < <= > >= AND OR NOT IS [NOT] NULL IN (...)``
-and ``LIKE 'prefix%'`` (prefix patterns only — the shape provenance
-queries need).  This is intentionally a subset: enough to use the engine
+Predicates support ``= != < <= > >= AND OR NOT IS [NOT] NULL IN (...)``,
+``BETWEEN lo AND hi`` (desugared to a ``>=``/``<=`` pair the planner
+merges onto ordered indexes), and ``LIKE 'prefix%'`` (prefix patterns
+only — the shape provenance queries need).  This is intentionally a subset: enough to use the engine
 the way CPDB used MySQL, with readable tests.
 """
 
@@ -62,7 +63,7 @@ _KEYWORDS = {
     "insert", "into", "values", "select", "distinct", "from", "join",
     "where", "group", "order", "by", "asc", "desc", "limit", "offset",
     "having", "delete",
-    "update", "set", "and", "or", "not", "is", "null", "in", "like",
+    "update", "set", "and", "or", "not", "is", "null", "in", "like", "between",
     "primary", "key", "default", "as", "count", "sum", "avg", "min", "max",
     "true", "false",
 }
@@ -211,6 +212,15 @@ class _Parser:
                 options.append(self.literal())
             self.expect_op(")")
             return InList(column, tuple(options))
+        if self.accept_word("between"):
+            # desugar to the BETWEEN-shaped conjunct pair the planner's
+            # interval analysis merges back into one index range
+            low = self.literal()
+            self.expect_word("and")
+            high = self.literal()
+            return And(
+                Cmp(">=", column, Const(low)), Cmp("<=", column, Const(high))
+            )
         if self.accept_word("like"):
             pattern = self.literal()
             if not isinstance(pattern, str) or not pattern.endswith("%") or "%" in pattern[:-1]:

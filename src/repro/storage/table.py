@@ -328,12 +328,15 @@ class Table:
         high: Optional[Tuple[Any, ...]] = None,
         include_low: bool = True,
         include_high: bool = True,
+        reverse: bool = False,
     ) -> Iterator[Tuple[int, Row]]:
-        """Rows with index key in ``[low, high]`` via an ordered index."""
+        """Rows with index key in ``[low, high]`` via an ordered index,
+        streamed in ascending (or, with ``reverse``, descending) key
+        order."""
         index = self._indexes[index_name]
         if not isinstance(index, OrderedIndex):
             raise ConstraintError(f"index {index_name!r} does not support range scans")
-        for rowid in index.range(low, high, include_low, include_high):
+        for rowid in index.range(low, high, include_low, include_high, reverse):
             yield rowid, self._rows[rowid]
 
     # ------------------------------------------------------------------

@@ -44,9 +44,12 @@ def index_ops(max_size: int = 60) -> st.SearchStrategy[List[tuple]]:
         ("insert", key, rowid)   ("delete", key, rowid)
         ("lookup", key)          ("prefix", text)
         ("range", low_or_None, high_or_None, include_low, include_high)
+        ("rrange", low_or_None, high_or_None, include_low, include_high)
 
-    The model test executes them against the blocked ``OrderedIndex``
-    and a plain sorted-list reference and compares every observation.
+    ``rrange`` is the descending-order scan behind ``ORDER BY k DESC``
+    sort elision.  The model test executes them against the blocked
+    ``OrderedIndex`` and a plain sorted-list reference and compares
+    every observation.
     """
     insert = st.tuples(st.just("insert"), index_keys, index_rowids)
     delete = st.tuples(st.just("delete"), index_keys, index_rowids)
@@ -56,8 +59,9 @@ def index_ops(max_size: int = 60) -> st.SearchStrategy[List[tuple]]:
     ))
     bound = st.one_of(st.none(), index_keys)
     rng = st.tuples(st.just("range"), bound, bound, st.booleans(), st.booleans())
+    rrng = st.tuples(st.just("rrange"), bound, bound, st.booleans(), st.booleans())
     return st.lists(
-        st.one_of(insert, insert, insert, delete, lookup, prefix, rng),
+        st.one_of(insert, insert, insert, delete, lookup, prefix, rng, rrng),
         max_size=max_size,
     )
 

@@ -37,7 +37,7 @@ class SortedListModel:
     def lookup(self, key):
         return [rowid for entry_key, rowid in self.entries if entry_key == key]
 
-    def range(self, low, high, include_low, include_high):
+    def range(self, low, high, include_low, include_high, reverse=False):
         out = []
         for key, rowid in self.entries:
             if low is not None and (key < low or (not include_low and key == low)):
@@ -45,7 +45,7 @@ class SortedListModel:
             if high is not None and (key > high or (not include_high and key == high)):
                 continue
             out.append(rowid)
-        return out
+        return out[::-1] if reverse else out
 
     def prefix(self, text):
         return [
@@ -70,11 +70,12 @@ def apply_ops(ops):
             assert index.lookup(op[1]) == set(model.lookup(op[1]))
         elif op[0] == "prefix":
             assert list(index.prefix_scan(op[1])) == model.prefix(op[1])
-        else:  # range
-            _tag, low, high, include_low, include_high = op
-            assert list(index.range(low, high, include_low, include_high)) == (
-                model.range(low, high, include_low, include_high)
-            )
+        else:  # range / rrange
+            tag, low, high, include_low, include_high = op
+            reverse = tag == "rrange"
+            assert list(
+                index.range(low, high, include_low, include_high, reverse)
+            ) == model.range(low, high, include_low, include_high, reverse)
     return index, model
 
 
@@ -150,3 +151,23 @@ class TestRangeSentinels:
             index.insert(("x",), rowid)
         index.insert(("y",), 99)
         assert list(index.range(low=("x",), include_low=False)) == [99]
+
+    def test_reverse_range_streams_descending(self):
+        index = OrderedIndex("r")
+        for i in range(10):
+            index.insert((f"k{i}",), i)
+        assert list(index.range(("k2",), ("k5",), reverse=True)) == [5, 4, 3, 2]
+        assert list(index.range(reverse=True)) == list(range(9, -1, -1))
+        assert list(
+            index.range(("k2",), ("k5",), False, False, reverse=True)
+        ) == [4, 3]
+
+    def test_reverse_range_crosses_blocks(self):
+        index = OrderedIndex("r")
+        n = 3 * _LOAD
+        for i in range(n):
+            index.insert((i,), i)
+        assert len(index._blocks) > 1
+        assert list(index.range(reverse=True)) == list(range(n - 1, -1, -1))
+        got = list(index.range((_LOAD - 7,), (2 * _LOAD + 3,), reverse=True))
+        assert got == list(range(2 * _LOAD + 3, _LOAD - 8, -1))

@@ -1,0 +1,404 @@
+"""Differential plan-equivalence testing for the query planner.
+
+Every planner rule (index selection, interval merging, sort elision,
+reverse scans) must be *result-equivalent* to the rule-free plan — the
+Codd's-theorem-flavored argument that a smarter evaluation strategy may
+not change the answer.  Hypothesis draws random schemas (index subsets),
+data, and ``Query`` objects covering ranges, equalities, prefixes,
+ORDER BY, LIMIT/OFFSET, and DISTINCT; each query runs twice:
+
+* through ``plan_query`` with all rules enabled, and
+* through the oracle ``plan_query(..., naive=True)`` — a forced
+  ``SeqScan`` + ``FilterNode`` + ``SortNode`` pipeline;
+
+then the result multisets must be identical, and when the query has an
+ORDER BY the planner's output must additionally *be* in that order.
+LIMIT/OFFSET windows are only comparable under a total order, so the
+strategy forces those queries to ORDER BY a permutation of every column
+(identical sorted sequences → identical windows).
+
+The example budget is profile-driven so CI runs a fixed, bounded,
+derandomized pass: ``REPRO_HYPOTHESIS_PROFILE=ci``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.storage import And, Cmp, Col, Const, Database, PrefixMatch, Query, TableRef
+from repro.storage.plan import (
+    IndexRangeScan,
+    PlanNode,
+    SortNode,
+    _hashable_key,
+    _null_safe_key,
+    explain,
+)
+from repro.storage.query import plan_query
+from repro.storage.schema import Column, IndexSpec, TableSchema
+from repro.storage.types import ColumnType
+
+# ----------------------------------------------------------------------
+# Profiles: CI runs a fixed derandomized budget (bounded wall time);
+# local runs keep the default randomized search.
+# ----------------------------------------------------------------------
+
+_PROFILES = {
+    "default": {"max_examples": 80, "deadline": None},
+    "ci": {"max_examples": 200, "deadline": None, "derandomize": True},
+}
+_PROFILE = _PROFILES.get(
+    os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"), _PROFILES["default"]
+)
+
+COLUMNS = ("a", "b", "s", "x")
+S_VALUES = ["a", "ab", "ab/c", "ab/d", "b", "b/x", "c", "c/d", "cd"]
+S_PREFIXES = ["", "a", "ab", "ab/", "b", "c/", "z"]
+
+_INDEX_POOL = [
+    IndexSpec("ix_a_hash", ("a",)),
+    IndexSpec("ix_a", ("a",), ordered=True),
+    IndexSpec("ix_s", ("s",), ordered=True),
+    IndexSpec("ix_ab", ("a", "b"), ordered=True),
+    IndexSpec("ix_sa", ("s", "a"), ordered=True),
+]
+
+_small_ints = st.integers(min_value=0, max_value=7)
+
+
+def _schema(indexes: Tuple[IndexSpec, ...]) -> TableSchema:
+    return TableSchema(
+        "t",
+        [
+            Column("a", ColumnType.INT, nullable=False),
+            Column("b", ColumnType.INT, nullable=False),
+            Column("s", ColumnType.TEXT, nullable=False),
+            Column("x", ColumnType.INT),  # nullable, never indexed
+        ],
+        indexes=indexes,
+    )
+
+
+@st.composite
+def databases(draw) -> Database:
+    indexes = tuple(
+        spec for spec in _INDEX_POOL if draw(st.booleans())
+    )
+    rows = draw(
+        st.lists(
+            st.tuples(
+                _small_ints,
+                _small_ints,
+                st.sampled_from(S_VALUES),
+                st.one_of(st.none(), _small_ints),
+            ),
+            max_size=30,
+        )
+    )
+    db = Database("diff")
+    table = db.create_table(_schema(indexes))
+    for row in rows:
+        table.insert(row)
+    return db
+
+
+def _const_strategy(column: str):
+    if column == "s":
+        return st.sampled_from(S_VALUES + ["ab/cc", "0", "zz"])
+    return st.integers(min_value=-1, max_value=8)
+
+
+@st.composite
+def conjuncts_(draw):
+    if draw(st.integers(0, 3)) == 0:
+        return PrefixMatch(Col("s"), draw(st.sampled_from(S_PREFIXES)))
+    column = draw(st.sampled_from(COLUMNS))
+    op = draw(st.sampled_from(["=", "=", "<", "<=", ">", ">=", "!="]))
+    value = draw(_const_strategy(column))
+    if draw(st.booleans()):
+        return Cmp(op, Col(column), Const(value))
+    return Cmp(op, Const(value), Col(column))
+
+
+@st.composite
+def queries(draw) -> Query:
+    parts = draw(st.lists(conjuncts_(), max_size=4))
+    where = None
+    if len(parts) == 1:
+        where = parts[0]
+    elif parts:
+        where = And(*parts)
+    distinct = draw(st.booleans())
+    windowed = draw(st.integers(0, 3)) == 0
+    limit: Optional[int] = None
+    offset = 0
+    if windowed:
+        # LIMIT/OFFSET are only differential-comparable under a total
+        # order: ORDER BY a permutation of every column
+        order_columns = draw(st.permutations(list(COLUMNS)))
+        order_by = [(Col(c), draw(st.booleans())) for c in order_columns]
+        limit = draw(st.one_of(st.none(), st.integers(0, 10)))
+        offset = draw(st.integers(0, 5))
+        if limit is None and offset == 0:
+            limit = 3
+    else:
+        count = draw(st.integers(0, 2))
+        order_columns = draw(st.permutations(list(COLUMNS)))[:count]
+        order_by = [(Col(c), draw(st.booleans())) for c in order_columns]
+    outputs = None
+    shape = draw(st.integers(0, 3))
+    if shape == 1:
+        outputs = [(c, Col(c)) for c in COLUMNS]
+    elif shape == 2:
+        # subset projection — may drop ORDER BY columns, in which case
+        # both plans must fail identically (never "works with an index,
+        # errors without one")
+        kept = [c for c in COLUMNS if draw(st.booleans())] or ["a"]
+        outputs = [(c, Col(c)) for c in kept]
+    elif shape == 3:
+        outputs = [("q", Col(draw(st.sampled_from(COLUMNS)))), ("s", Col("s"))]
+    return Query(
+        TableRef("t"),
+        where=where,
+        outputs=outputs,
+        order_by=order_by,
+        limit=limit,
+        offset=offset,
+        distinct=distinct,
+    )
+
+
+# ----------------------------------------------------------------------
+# Equivalence checks
+# ----------------------------------------------------------------------
+
+
+def _canonical(row: Dict[str, Any]) -> Tuple:
+    return tuple((name, _hashable_key(row[name])) for name in sorted(row))
+
+
+def _order_violation(
+    order_by: List[Tuple[Col, bool]], previous: Dict[str, Any], current: Dict[str, Any]
+) -> bool:
+    """True when ``current`` may not follow ``previous`` under ORDER BY."""
+    for expr, descending in order_by:
+        key_prev = _null_safe_key(expr.eval(previous))
+        key_cur = _null_safe_key(expr.eval(current))
+        if key_prev == key_cur:
+            continue
+        return (key_prev < key_cur) if descending else (key_prev > key_cur)
+    return False
+
+
+def _run(plan: PlanNode) -> Tuple[Optional[List[Dict[str, Any]]], Optional[type]]:
+    try:
+        return list(plan.execute()), None
+    except Exception as error:  # noqa: BLE001 — error *identity* is the oracle
+        return None, type(error)
+
+
+def assert_plan_equivalent(db: Database, query: Query) -> None:
+    plan = plan_query(db.tables, query)
+    oracle = plan_query(db.tables, query, naive=True)
+    got, got_error = _run(plan)
+    want, want_error = _run(oracle)
+    context = f"plan:\n{explain(plan)}\noracle:\n{explain(oracle)}"
+    # a query must succeed or fail independently of which indexes exist
+    assert got_error == want_error, context
+    if got_error is not None:
+        return
+    assert Counter(map(_canonical, got)) == Counter(map(_canonical, want)), context
+    if query.order_by:
+        for previous, current in zip(got, got[1:]):
+            assert not _order_violation(query.order_by, previous, current), (
+                f"ORDER BY violated between {previous!r} and {current!r}\n{context}"
+            )
+
+
+class TestDifferentialPlanEquivalence:
+    @given(db=databases(), query=queries())
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        **_PROFILE,
+    )
+    def test_random_queries_match_oracle(self, db: Database, query: Query) -> None:
+        assert_plan_equivalent(db, query)
+
+    @given(db=databases(), data=st.data())
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        **_PROFILE,
+    )
+    def test_range_heavy_queries_match_oracle(self, db: Database, data) -> None:
+        """A biased generator: every query is a (possibly contradictory)
+        interval over an indexable column plus ORDER BY on that column —
+        the exact shape the new rules rewrite most aggressively."""
+        column = data.draw(st.sampled_from(["a", "s"]))
+        low = data.draw(_const_strategy(column))
+        high = data.draw(_const_strategy(column))
+        ops = data.draw(
+            st.tuples(st.sampled_from([">", ">="]), st.sampled_from(["<", "<="]))
+        )
+        descending = data.draw(st.booleans())
+        query = Query(
+            TableRef("t"),
+            where=And(
+                Cmp(ops[0], Col(column), Const(low)),
+                Cmp(ops[1], Col(column), Const(high)),
+            ),
+            order_by=[(Col(column), descending)],
+        )
+        assert_plan_equivalent(db, query)
+
+
+class TestDifferentialRegressions:
+    """Deterministic shapes worth pinning independent of the generator."""
+
+    def _db(self, *indexes: IndexSpec) -> Database:
+        db = Database("diff")
+        table = db.create_table(_schema(tuple(indexes)))
+        rows = [
+            (1, 4, "ab", None),
+            (1, 2, "ab/c", 3),
+            (2, 0, "a", 0),
+            (2, 7, "c/d", 1),
+            (3, 3, "ab", 5),
+            (3, 3, "b/x", None),
+            (5, 1, "cd", 2),
+            (5, 1, "ab", 2),
+        ]
+        for row in rows:
+            table.insert(row)
+        return db
+
+    def test_range_order_limit_streams_equivalently(self):
+        db = self._db(IndexSpec("ix_ab", ("a", "b"), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=And(Cmp(">=", Col("a"), Const(1)), Cmp("<", Col("a"), Const(5))),
+            order_by=[(Col("a"), False), (Col("b"), False)],
+            limit=4,
+        )
+        plan = plan_query(db.tables, query)
+        rendered = explain(plan)
+        assert "IndexRangeScan" in rendered and "Sort" not in rendered
+        assert_plan_equivalent(db, query)
+
+    def test_reverse_scan_equivalent(self):
+        db = self._db(IndexSpec("ix_s", ("s",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=Cmp(">", Col("s"), Const("a")),
+            order_by=[(Col("s"), True)],
+        )
+        plan = plan_query(db.tables, query)
+        assert isinstance(plan, IndexRangeScan) and plan.reverse
+        assert_plan_equivalent(db, query)
+
+    def test_contradictory_interval_is_empty(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=And(Cmp(">", Col("a"), Const(5)), Cmp("<", Col("a"), Const(2))),
+        )
+        assert list(plan_query(db.tables, query).execute()) == []
+        assert_plan_equivalent(db, query)
+
+    def test_mixed_type_bounds_stay_in_filter(self):
+        """Interval merging across incomparable constants must fall back
+        to the filter, not crash the planner."""
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=And(Cmp(">", Col("a"), Const(1)), Cmp("<", Col("a"), Const("z"))),
+        )
+        # evaluation still raises (int < str), exactly like the oracle —
+        # but planning must succeed and keep both conjuncts
+        plan = plan_query(db.tables, query)
+        assert "SeqScan" in explain(plan)
+
+    def test_nullable_column_never_pushed_to_index(self):
+        """x is nullable: bounds on it must not become index ranges even
+        if an ordered index existed, because NULL keys cannot be probed."""
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(TableRef("t"), where=Cmp(">=", Col("x"), Const(1)))
+        assert "SeqScan" in explain(plan_query(db.tables, query))
+        assert_plan_equivalent(db, query)
+
+    def test_distinct_with_order_and_range(self):
+        db = self._db(IndexSpec("ix_sa", ("s", "a"), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=Cmp(">=", Col("s"), Const("ab")),
+            outputs=[(c, Col(c)) for c in COLUMNS],
+            order_by=[(Col("s"), False)],
+            distinct=True,
+        )
+        assert_plan_equivalent(db, query)
+
+    def test_eq_prefix_plus_range_on_composite_index(self):
+        db = self._db(IndexSpec("ix_ab", ("a", "b"), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=And(Cmp("=", Col("a"), Const(3)), Cmp(">", Col("b"), Const(1))),
+            order_by=[(Col("b"), False)],
+        )
+        plan = plan_query(db.tables, query)
+        rendered = explain(plan)
+        assert "IndexRangeScan" in rendered and "Sort" not in rendered
+        assert_plan_equivalent(db, query)
+
+    def test_offset_only_window_under_total_order(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            order_by=[(Col(c), False) for c in COLUMNS],
+            offset=3,
+        )
+        assert_plan_equivalent(db, query)
+
+    def test_order_by_projected_away_column_fails_like_oracle(self):
+        """ORDER BY on a column the projection drops: the naive plan's
+        SortNode raises UnknownColumnError above the projection, so the
+        indexed plan must not elide the sort and silently succeed —
+        query behavior may not depend on which indexes exist."""
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=Cmp(">=", Col("a"), Const(1)),
+            outputs=[("b", Col("b"))],
+            order_by=[(Col("a"), False)],
+        )
+        assert isinstance(plan_query(db.tables, query), SortNode)
+        assert_plan_equivalent(db, query)
+
+    def test_order_by_renamed_output_column_elides_through_projection(self):
+        """ORDER BY on an output name that identity-projects a base
+        column still supports elision (the rename resolves through the
+        projection)."""
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=Cmp(">=", Col("a"), Const(1)),
+            outputs=[("k", Col("a")), ("s", Col("s"))],
+            order_by=[(Col("k"), False)],
+        )
+        rendered = explain(plan_query(db.tables, query))
+        assert "Sort" not in rendered and "IndexRangeScan" in rendered
+        assert_plan_equivalent(db, query)
+
+    def test_sortnode_only_for_unsatisfied_order(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=Cmp(">=", Col("a"), Const(2)),
+            order_by=[(Col("s"), False)],
+        )
+        plan = plan_query(db.tables, query)
+        assert isinstance(plan, SortNode)
+        assert_plan_equivalent(db, query)

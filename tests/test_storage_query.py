@@ -16,7 +16,16 @@ from repro.storage import (
     TableRef,
     execute_sql,
 )
-from repro.storage.plan import IndexEqScan, IndexPrefixScan, SeqScan, explain
+from repro.storage.plan import (
+    DistinctNode,
+    IndexEqScan,
+    IndexPrefixScan,
+    IndexRangeScan,
+    PlanNode,
+    SeqScan,
+    SortNode,
+    explain,
+)
 from repro.storage.query import JoinSpec
 
 
@@ -96,6 +105,151 @@ class TestPlanner:
             ]
             key = lambda r: sorted(r.items(), key=lambda kv: kv[0])
             assert sorted(via_plan, key=key) == sorted(via_scan, key=key)
+
+
+def _plan_sql(db, sql):
+    from repro.storage.sql import parse_statement
+
+    return db.plan(parse_statement(sql).query)
+
+
+class TestExplainSnapshots:
+    """Exact access paths for representative queries: a planner-rule
+    regression changes these strings and fails loudly."""
+
+    def test_equality_snapshot(self, db):
+        assert explain(_plan_sql(db, "SELECT * FROM prov WHERE tid = 124")) == (
+            "IndexEqScan(prov.prov_tid = (124,))"
+        )
+
+    def test_primary_key_snapshot(self, db):
+        plan = _plan_sql(db, "SELECT * FROM prov WHERE tid = 121 AND loc = 'T/c5'")
+        assert explain(plan) == "IndexEqScan(prov.prov_pk_idx = (121, 'T/c5'))"
+
+    def test_prefix_snapshot(self, db):
+        plan = _plan_sql(db, "SELECT * FROM prov WHERE loc LIKE 'T/c2%'")
+        assert explain(plan) == "IndexPrefixScan(prov.prov_loc ~ 'T/c2'%)"
+
+    def test_range_snapshot(self, db):
+        plan = _plan_sql(
+            db, "SELECT * FROM prov WHERE loc >= 'T/c2' AND loc < 'T/c4'"
+        )
+        assert explain(plan) == (
+            "IndexRangeScan(prov.prov_loc in [('T/c2',), ('T/c4',)))"
+        )
+
+    def test_between_merges_to_one_range(self, db):
+        plan = _plan_sql(db, "SELECT * FROM prov WHERE loc BETWEEN 'T/c2' AND 'T/c4'")
+        assert explain(plan) == (
+            "IndexRangeScan(prov.prov_loc in [('T/c2',), ('T/c4',)])"
+        )
+
+    def test_range_with_matching_order_elides_sort(self, db):
+        plan = _plan_sql(
+            db,
+            "SELECT * FROM prov WHERE loc >= 'T/c2' AND loc < 'T/c4' "
+            "ORDER BY loc LIMIT 2",
+        )
+        assert explain(plan) == (
+            "Limit(2, offset=0)\n"
+            "  IndexRangeScan(prov.prov_loc in [('T/c2',), ('T/c4',)))"
+        )
+
+    def test_descending_order_uses_reverse_scan(self, db):
+        plan = _plan_sql(
+            db, "SELECT * FROM prov WHERE loc >= 'T/c2' ORDER BY loc DESC"
+        )
+        assert explain(plan) == (
+            "IndexRangeScan(prov.prov_loc in [('T/c2',), None] desc)"
+        )
+
+    def test_range_with_other_order_keeps_sort(self, db):
+        plan = _plan_sql(
+            db, "SELECT * FROM prov WHERE loc >= 'T/c2' ORDER BY tid"
+        )
+        assert explain(plan) == (
+            "Sort(1 keys)\n"
+            "  IndexRangeScan(prov.prov_loc in [('T/c2',), None])"
+        )
+
+    def test_residual_conjunct_stays_in_filter(self, db):
+        plan = _plan_sql(
+            db, "SELECT * FROM prov WHERE loc >= 'T/c2' AND op = 'C'"
+        )
+        rendered = explain(plan)
+        assert rendered.startswith("Filter(")
+        assert "IndexRangeScan(prov.prov_loc in [('T/c2',), None])" in rendered
+
+    def test_unindexable_range_falls_back_to_seqscan(self, db):
+        # prov_tid is a hash index: a tid range cannot use it
+        plan = _plan_sql(db, "SELECT * FROM prov WHERE tid >= 122 AND tid < 124")
+        rendered = explain(plan)
+        assert "SeqScan(prov)" in rendered and "IndexRangeScan" not in rendered
+
+
+class TestRangePlans:
+    def test_range_results_match_filtered_scan(self, db):
+        rows = execute_sql(
+            db, "SELECT loc FROM prov WHERE loc >= 'T/c2' AND loc <= 'T/c2/x' ORDER BY loc"
+        )
+        assert [row["loc"] for row in rows] == ["T/c2", "T/c2", "T/c2/x"]
+
+    def test_reverse_scan_streams_descending(self, db):
+        rows = execute_sql(db, "SELECT loc FROM prov ORDER BY loc DESC")
+        assert [row["loc"] for row in rows] == sorted(
+            (row["loc"] for row in execute_sql(db, "SELECT loc FROM prov")),
+            reverse=True,
+        )
+
+    def test_between_results(self, db):
+        rows = execute_sql(db, "SELECT tid FROM prov WHERE tid BETWEEN 122 AND 123")
+        assert sorted(row["tid"] for row in rows) == [122, 123]
+
+    def test_contradictory_range_is_empty(self, db):
+        rows = execute_sql(db, "SELECT * FROM prov WHERE loc > 'T/c4' AND loc < 'T/c2'")
+        assert rows == []
+
+
+class _RowsNode(PlanNode):
+    """A stub producer for operator-level tests."""
+
+    def __init__(self, rows):
+        self.rows = rows
+
+    def execute(self):
+        return iter(self.rows)
+
+    def describe(self):
+        return "Rows"
+
+
+class TestDistinctDedupKey:
+    def test_unhashable_values_deduplicate(self):
+        rows = [
+            {"v": [1, 2]},
+            {"v": [1, 2]},
+            {"v": [2, 1]},
+            {"v": {"k": [3]}},
+            {"v": {"k": [3]}},
+        ]
+        out = list(DistinctNode(_RowsNode(rows)).execute())
+        assert out == [{"v": [1, 2]}, {"v": [2, 1]}, {"v": {"k": [3]}}]
+
+    def test_cross_type_values_stay_distinct(self):
+        # 0 == False == 0.0 in Python (and they share a hash): a naive
+        # dedup key would collapse them
+        rows = [{"v": 0}, {"v": False}, {"v": 0.0}, {"v": None}, {"v": ""}]
+        out = list(DistinctNode(_RowsNode(rows)).execute())
+        assert out == rows
+
+    def test_incomparable_values_do_not_crash(self):
+        rows = [{"v": 1}, {"v": "x"}, {"v": 1}, {"v": object()}]
+        out = list(DistinctNode(_RowsNode(rows)).execute())
+        assert len(out) == 3
+
+    def test_distinct_via_sql_unchanged(self, db):
+        rows = execute_sql(db, "SELECT DISTINCT op FROM prov ORDER BY op")
+        assert [row["op"] for row in rows] == ["C", "D", "I"]
 
 
 class TestSQL:

@@ -6,10 +6,12 @@ provenance records carry is simply not in the log.
 """
 
 import os
+import struct
 
 import pytest
 
 from repro.storage import Column, ColumnType, Database, TableSchema, TransactionError
+from repro.storage.expr import Cmp, Col, Const
 from repro.storage.wal import (
     KIND_COMMIT,
     KIND_INSERT,
@@ -150,6 +152,20 @@ class TestCrashRecovery:
         with pytest.raises(TransactionError):
             db.recover()
 
+    def test_recovery_applies_committed_updates(self, tmp_path):
+        """UPDATE is logged as DELETE(old)+INSERT(new); replay must land
+        on the new row via the pk point lookup."""
+        db = Database("t", wal_dir=str(tmp_path))
+        db.create_table(schema())
+        db.insert("prov", (1, "I", "T/a", None))
+        db.begin()
+        db.update_where("prov", {"op": "C", "src": "S/a"})
+        db.commit()
+        db.crash()
+        db.recover()
+        found = db.table("prov").lookup_pk((1, "T/a"))
+        assert found is not None and found[1] == (1, "C", "T/a", "S/a")
+
     def test_log_lacks_provenance_information(self, tmp_path):
         """Section 5: a transaction log records *what rows changed*, not
         where copied data came from.  After recovery, the only way to
@@ -165,3 +181,117 @@ class TestCrashRecovery:
         # WAL rows are opaque tuples tied to tables; no update semantics
         for record in db._wal.records():
             assert not hasattr(record, "copy_source")
+
+
+class TestCrashPointMatrix:
+    """Replay truncated logs at every record boundary (and torn
+    mid-record points) around insert/update/delete operations: recovery
+    must always reproduce exactly the state as of the last COMMIT record
+    that survived the truncation — never a partial transaction."""
+
+    def _run_workload(self, wal_dir):
+        """A workload exercising all three logged mutation shapes.
+
+        Returns ``(wal_path, states)`` where ``states[k]`` is the sorted
+        committed row set after the k-th COMMIT record (``states[0]`` is
+        the empty pre-commit state).  An aborted and a dangling open
+        transaction are interleaved so truncation points landing inside
+        them must fall back to the previous committed state.
+        """
+        db = Database("m", wal_dir=wal_dir)
+        db.create_table(schema())
+        states = [[]]
+
+        def snapshot():
+            states.append(sorted(row for _rid, row in db.table("prov").scan()))
+
+        # txn 1: plain inserts
+        db.begin()
+        db.insert("prov", (1, "I", "T/a", None))
+        db.insert("prov", (2, "I", "T/b", None))
+        db.insert("prov", (3, "C", "T/c", "S/c"))
+        db.commit()
+        snapshot()
+        # txn 2: a delete and an insert in one transaction
+        db.begin()
+        db.delete_where("prov", Cmp("=", Col("tid"), Const(2)))
+        db.insert("prov", (4, "I", "T/d", None))
+        db.commit()
+        snapshot()
+        # txn 3: an update (logged as DELETE old + INSERT new)
+        db.begin()
+        db.update_where("prov", {"op": "D", "src": None}, Cmp("=", Col("tid"), Const(1)))
+        db.commit()
+        snapshot()
+        # txn 4: aborted — must never replay regardless of truncation
+        db.begin()
+        db.insert("prov", (5, "I", "T/e", None))
+        db.rollback()
+        # txn 5: committed after the abort
+        db.begin()
+        db.insert("prov", (6, "C", "T/f", "S/f"))
+        db.commit()
+        snapshot()
+        # txn 6: left open at the crash — never replayed
+        db.begin()
+        db.insert("prov", (7, "I", "T/g", None))
+        db.crash()
+        return db._wal.path, states
+
+    def _record_ends(self, data):
+        """Byte offsets just past each record, with the record kind."""
+        ends = []
+        offset = 0
+        while offset + 4 <= len(data):
+            (length,) = struct.unpack_from("<I", data, offset)
+            if offset + 4 + length > len(data):
+                break
+            kind = data[offset + 4]
+            offset += 4 + length
+            ends.append((offset, kind))
+        return ends
+
+    def _recover_truncated(self, tmp_path, data, cut):
+        target = tmp_path / f"cut_{cut}"
+        target.mkdir()
+        with open(target / "m.wal", "wb") as handle:
+            handle.write(data[:cut])
+        db = Database("m", wal_dir=str(target))
+        db.create_table(schema())
+        replayed = db.recover()
+        return replayed, sorted(row for _rid, row in db.table("prov").scan())
+
+    def test_every_truncation_point_recovers_a_committed_prefix(self, tmp_path):
+        wal_path, states = self._run_workload(str(tmp_path / "full"))
+        with open(wal_path, "rb") as handle:
+            data = handle.read()
+        ends = self._record_ends(data)
+        commit_ends = [end for end, kind in ends if kind == KIND_COMMIT]
+        assert len(commit_ends) == len(states) - 1 == 4
+
+        cuts = {0, len(data)}
+        for end, _kind in ends:
+            cuts.add(end)            # clean record boundary
+            cuts.add(end - 1)        # torn tail inside this record
+            cuts.add(min(end + 3, len(data)))  # torn length prefix
+        for cut in sorted(cuts):
+            committed = sum(1 for end in commit_ends if end <= cut)
+            replayed, rows = self._recover_truncated(tmp_path, data, cut)
+            assert replayed == committed, f"cut at byte {cut}"
+            assert rows == states[committed], f"cut at byte {cut}"
+
+    def test_truncation_inside_update_keeps_old_row(self, tmp_path):
+        """A cut between the DELETE(old) and COMMIT of the update
+        transaction must leave the pre-update row intact."""
+        wal_path, states = self._run_workload(str(tmp_path / "full"))
+        with open(wal_path, "rb") as handle:
+            data = handle.read()
+        ends = self._record_ends(data)
+        commit_ends = [end for end, kind in ends if kind == KIND_COMMIT]
+        # records of txn 3 sit between the 2nd and 3rd COMMIT: cut right
+        # before its COMMIT record ends
+        cut = commit_ends[2] - 1
+        _replayed, rows = self._recover_truncated(tmp_path, data, cut)
+        assert rows == states[2]
+        assert (1, "D", "T/a", None) not in rows  # the update must not apply
+        assert (1, "I", "T/a", None) in rows  # the pre-update row survives
