@@ -48,6 +48,20 @@ class HierarchicalTransactionalStore(TransactionalStore):
         super().__init__(table, first_tid=first_tid)
         self.prune_redundant = prune_redundant
 
+    def _mask_recreated(self, dst: Path, created: Tree) -> None:
+        """Explicitly deleted locations that the new content re-creates
+        stop being net-dead while that content lives — their death moves
+        to the displaced set (revived by a later delete, like any other
+        masked death).  The flat store needs no such step: every present
+        node has its own link there, so the commit-time ``loc not in
+        provlist`` filter encodes presence exactly; with root-only
+        records a re-created node usually has no link of its own."""
+        for sub, _node in created.nodes():
+            loc = dst.join(sub)
+            if loc in self._dead:
+                self._dead.discard(loc)
+                self._displaced.add(loc)
+
     # ------------------------------------------------------------------
     # Hierarchical active-list variants
     # ------------------------------------------------------------------
@@ -90,7 +104,9 @@ class HierarchicalTransactionalStore(TransactionalStore):
     def track_insert(self, loc: Path) -> None:
         self.begin()
         self._charge_check("add")
-        self._dead.discard(loc)
+        if loc in self._dead:
+            self._dead.discard(loc)
+            self._displaced.add(loc)
         self._provlist[loc] = (OP_INSERT, None)
 
     def track_copy(
@@ -101,11 +117,14 @@ class HierarchicalTransactionalStore(TransactionalStore):
         # compute net links before clearing (the source may sit inside
         # the overwritten region); records *inside* the region vanish but
         # a record at an ancestor of dst stays — the new record at dst
-        # blocks inference below dst
+        # blocks inference below dst.  As in the base class, overwritten
+        # input data is displaced (silent while the record survives,
+        # revived by a later delete); dead locations the new content
+        # re-creates are masked the same way, not forgotten.
         links = self._net_copy_links(dst, src, copied)
         if overwritten is not None:
-            self._clear_overwritten(dst)
-        self._resurrect(dst, copied)
+            self._displace_region(dst, overwritten)
+        self._mask_recreated(dst, copied)
         self._provlist.update(links)
 
     # ------------------------------------------------------------------
@@ -116,14 +135,17 @@ class HierarchicalTransactionalStore(TransactionalStore):
 
         A dead input location needs an explicit ``D`` record unless its
         parent also gets one (children of deleted nodes are inferred
-        deleted).  Re-created locations were dropped from the dead set at
-        resurrection time, so a dead region under a resurrected ancestor
-        is emitted explicitly — keeping the expanded view equal to the
-        full transactional table."""
+        deleted).  Deaths masked by surviving content sit in
+        ``_displaced``, not ``_dead``, so a dead region under a masked
+        ancestor is emitted explicitly; a dead location whose {Tid, Loc}
+        key was re-claimed by a surviving link is suppressed but does
+        *not* shadow its children — keeping the expanded view equal to
+        the full transactional table."""
+        candidates = {loc for loc in self._dead if loc not in self._provlist}
         return [
             loc
-            for loc in self._dead
-            if loc.is_root or loc.parent not in self._dead
+            for loc in candidates
+            if loc.is_root or loc.parent not in candidates
         ]
 
     def _net_records(self, tid: int) -> List[ProvRecord]:

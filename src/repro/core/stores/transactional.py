@@ -58,7 +58,16 @@ class TransactionalStore(ProvenanceStore):
     def __init__(self, table: ProvTable, first_tid: int = 1) -> None:
         super().__init__(table, first_tid=first_tid)
         self._provlist: Dict[Path, PendingLink] = {}
+        #: input (transaction-start) locations destroyed by an *explicit
+        #: delete* — each nets a ``D`` record unless a surviving link
+        #: re-claims its {Tid, Loc} key
         self._dead: Set[Path] = set()
+        #: input locations destroyed by an *overwrite* (paste over
+        #: existing data) — silent per the Figure 5(a) reading, because
+        #: the overwriting record accounts for the region wholesale; if
+        #: a later explicit delete destroys that masking content, the
+        #: displaced deaths revert to ``_dead`` and net their ``D``
+        self._displaced: Set[Path] = set()
         self._open = False
 
     # ------------------------------------------------------------------
@@ -76,10 +85,12 @@ class TransactionalStore(ProvenanceStore):
         own entry."""
         return loc in self._provlist
 
-    def _clear_region(self, root: Path, destroyed: Tree) -> None:
+    def _retire_region(self, root: Path, destroyed: Tree, graveyard: Set[Path]) -> None:
         """The subtree ``destroyed`` (the current content at ``root``) is
         about to disappear: drop links for transaction-created temporaries
-        and remember which input (transaction-start) nodes died.
+        and add the input (transaction-start) nodes that died to
+        ``graveyard`` (``_dead`` for explicit deletes, ``_displaced`` for
+        overwrites).
 
         Coverage is decided for *all* nodes before any link is removed —
         removing a parent's link first would make its children look like
@@ -88,10 +99,24 @@ class TransactionalStore(ProvenanceStore):
         created = [loc for loc in locs if self._is_txn_created(loc)]
         created_set = set(created)
         for loc in locs:
-            if loc not in created_set and loc not in self._dead:
-                self._dead.add(loc)
+            if loc not in created_set:
+                graveyard.add(loc)
         for loc in created:
             self._remove_links_at(loc)
+
+    def _clear_region(self, root: Path, destroyed: Tree) -> None:
+        """Explicit-delete bookkeeping: input nodes die loudly, and any
+        displaced death whose masking content sat inside the destroyed
+        region reverts to a net ``D``."""
+        self._retire_region(root, destroyed, self._dead)
+        for loc in [loc for loc in self._displaced if root.is_prefix_of(loc)]:
+            self._displaced.discard(loc)
+            self._dead.add(loc)
+
+    def _displace_region(self, root: Path, destroyed: Tree) -> None:
+        """Overwrite bookkeeping: input nodes die silently (the
+        overwriting record accounts for the region), but recoverably."""
+        self._retire_region(root, destroyed, self._displaced)
 
     def _remove_links_at(self, loc: Path) -> None:
         self._provlist.pop(loc, None)
@@ -126,37 +151,17 @@ class TransactionalStore(ProvenanceStore):
         self._open = True
         self._provlist.clear()
         self._dead.clear()
-
-    def _resurrect(self, dst: Path, created: Tree) -> None:
-        """Nodes re-created at locations that previously held (now deleted)
-        input data are no longer net-deleted: their I/C record takes over
-        ({Tid, Loc} is a key).  Old input descendants the new content does
-        not replace stay dead."""
-        for sub, _node in created.nodes():
-            self._dead.discard(dst.join(sub))
+        self._displaced.clear()
 
     def track_insert(self, loc: Path) -> None:
         self.begin()
         self._charge_local("add")
-        self._dead.discard(loc)
         self._provlist[loc] = (OP_INSERT, None)
 
     def track_delete(self, loc: Path, deleted: Tree) -> None:
         self.begin()
         self._charge_local("delete")
         self._clear_region(loc, deleted)
-
-    def _clear_overwritten(self, dst: Path) -> None:
-        """A paste replaces whatever sat at ``dst``: links for
-        transaction-created temporaries inside the region are dropped.
-
-        Overwritten *input* data produces no ``D`` records — the paper's
-        Figure 5(a) sets the precedent (step 6 overwrites the node
-        inserted at step 5 and records only the copy), and the stated
-        storage bounds (|HProv| <= |U|, HT = i + d + C) only hold under
-        this reading: ``d`` counts nodes removed by explicit deletes."""
-        for key in [key for key in self._provlist if dst.is_prefix_of(key)]:
-            del self._provlist[key]
 
     def track_copy(
         self, dst: Path, src: Path, copied: Tree, overwritten: Optional[Tree]
@@ -167,8 +172,12 @@ class TransactionalStore(ProvenanceStore):
         # clears the destination region (the source may sit inside it)
         links = self._net_copy_links(dst, src, copied)
         if overwritten is not None:
-            self._clear_overwritten(dst)
-        self._resurrect(dst, copied)
+            # temporaries inside the region vanish without a trace;
+            # overwritten *input* data is displaced — silent while the
+            # overwriting record survives (Figure 5(a): step 6 overwrites
+            # step 5's insert and records only the copy), but revived to
+            # a net ``D`` if a later statement deletes the pasted region
+            self._displace_region(dst, overwritten)
         self._provlist.update(links)
 
     def _net_copy_links(
@@ -200,9 +209,10 @@ class TransactionalStore(ProvenanceStore):
     def _emitted_dead(self) -> List[Path]:
         """Dead input locations that get an explicit ``D`` record.
 
-        Re-created locations were already dropped from the dead set when
-        they were resurrected (their I/C record takes over); everything
-        still dead is written out in full."""
+        A dead location whose content was re-created — and whose
+        re-creation *survived* to commit — carries an I/C link in the
+        active list, which takes over the {Tid, Loc} key; everything
+        still dead and linkless is written out in full."""
         return [loc for loc in self._dead if loc not in self._provlist]
 
     def commit(self) -> None:
@@ -217,6 +227,7 @@ class TransactionalStore(ProvenanceStore):
             )
         self._provlist.clear()
         self._dead.clear()
+        self._displaced.clear()
         self._open = False
 
     # ------------------------------------------------------------------

@@ -19,6 +19,22 @@ maintained incrementally as the fixpoint derives new facts.  Joins like
 ``path(X, Y), edge(Y, Z)`` thereby touch only the matching ``edge``
 facts for each bound ``Y`` rather than every edge (``use_fact_indexes=
 False`` restores the scan-everything behavior for A/B measurement).
+
+Fact indexes are *persistent* (the shared index lifecycle of
+``docs/ARCHITECTURE.md``): they survive ``evaluate()`` and are extended
+— not rebuilt — when :meth:`Program.add_fact` grows the extensional
+database.  For negation-free programs a repeated ``evaluate()`` after
+``add_fact`` is itself incremental: semi-naive iteration restarts from
+the previous model with the new facts as the delta, so work is
+proportional to what the new facts derive.  Negation is non-monotone, so
+any program with a negated literal falls back to a full recompute (and
+:meth:`Program.retract_fact` / :meth:`Program.reset` always do — a
+retracted fact may underpin arbitrarily many derived facts).  Delta sets
+above :data:`DELTA_INDEX_THRESHOLD` are themselves indexed during a
+semi-naive round instead of being scanned per probe.  The
+:attr:`Program.counters` dict exposes the lifecycle instrumentation
+(full vs incremental evaluations, index builds) that the regression
+tests assert on.
 """
 
 from __future__ import annotations
@@ -28,9 +44,15 @@ from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Seq
 from .ast import Atom, Const, Literal, Rule, Substitution, Var
 from .builtins import BUILTINS, Builtin
 
-__all__ = ["Program", "DatalogError"]
+__all__ = ["Program", "DatalogError", "DELTA_INDEX_THRESHOLD"]
 
 Fact = Tuple[Any, ...]
+
+#: Delta sets at or below this size are scanned per probe during a
+#: semi-naive round; larger ones get a per-round hash index over the
+#: probe's bound positions (building it is one pass, and a round probes
+#: each delta literal once per partial substitution).
+DELTA_INDEX_THRESHOLD = 32
 
 
 class DatalogError(Exception):
@@ -60,40 +82,119 @@ class Program:
         self.facts: Dict[str, Set[Fact]] = {}
         self.builtins = dict(BUILTINS if builtins is None else builtins)
         self.use_fact_indexes = use_fact_indexes
-        self._computed: Optional[Dict[str, Set[Fact]]] = None
+        #: Lifecycle instrumentation: ``full_evals`` / ``incremental_evals``
+        #: count evaluate() fixpoints by kind, ``index_builds`` counts
+        #: fact-index constructions from scratch (a persistent index that
+        #: is merely extended does not bump it), ``delta_index_builds``
+        #: counts per-round delta-set indexes.
+        self.counters: Dict[str, int] = {
+            "full_evals": 0,
+            "incremental_evals": 0,
+            "index_builds": 0,
+            "delta_index_builds": 0,
+        }
+        # the model of the last completed fixpoint; fresh means it
+        # reflects the current facts/rules
+        self._model: Optional[Dict[str, Set[Fact]]] = None
+        self._fresh = False
+        # EDB facts added since the last fixpoint (the incremental delta)
+        self._pending: List[Tuple[str, Fact]] = []
+        # rules changed / facts retracted: the previous model is unusable
+        self._needs_full = True
+        self._has_negation = False
         # (pred, bound positions) -> bound values -> candidate facts;
-        # valid only during one evaluate() fixpoint
+        # persistent: kept consistent with the last computed model and
+        # extended across incremental evaluations
         self._fact_indexes: Dict[
             Tuple[str, Tuple[int, ...]], Dict[Tuple[Any, ...], List[Fact]]
+        ] = {}
+        # per-round indexes over large delta sets, keyed by the delta
+        # set's identity; cleared after every semi-naive round
+        self._delta_indexes: Dict[
+            Tuple[int, str, Tuple[int, ...]], Dict[Tuple[Any, ...], List[Fact]]
         ] = {}
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add_fact(self, pred: str, fact: Sequence[Any]) -> None:
+        """Add an extensional fact.
+
+        Known facts are ignored; new ones join the pending delta, so the
+        next :meth:`evaluate` can extend the previous model
+        incrementally instead of recomputing it (negation-free programs
+        only — negation is non-monotone).
+        """
         if pred in self.builtins:
             raise DatalogError(f"{pred!r} is a builtin; cannot add facts")
-        self.facts.setdefault(pred, set()).add(tuple(fact))
-        self._computed = None
+        ground = tuple(fact)
+        bucket = self.facts.setdefault(pred, set())
+        if ground in bucket:
+            return
+        bucket.add(ground)
+        self._pending.append((pred, ground))
+        self._fresh = False
 
     def add_facts(self, pred: str, facts: Iterable[Sequence[Any]]) -> None:
         for fact in facts:
             self.add_fact(pred, fact)
+
+    def retract_fact(self, pred: str, fact: Sequence[Any]) -> bool:
+        """Remove an extensional fact; returns whether it was present.
+
+        Retraction is non-monotone even without negation (derived facts
+        may lose their last derivation), so the previous model, the
+        pending delta, and every persistent fact index are invalidated
+        together — the next :meth:`evaluate` recomputes from scratch.
+        """
+        ground = tuple(fact)
+        bucket = self.facts.get(pred)
+        if bucket is None or ground not in bucket:
+            return False
+        bucket.remove(ground)
+        if not bucket:
+            del self.facts[pred]
+        self._invalidate()
+        return True
+
+    def reset(self) -> None:
+        """Drop every extensional fact (rules survive), invalidating the
+        model and all persistent indexes coherently."""
+        self.facts.clear()
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._model = None
+        self._fresh = False
+        self._needs_full = True
+        self._pending.clear()
+        self._fact_indexes.clear()
+        self._delta_indexes.clear()
 
     def add_rule(self, rule: Rule) -> None:
         if rule.head.pred in self.builtins:
             raise DatalogError(f"cannot define builtin {rule.head.pred!r}")
         self._check_safety(rule)
         self.rules.append(rule)
-        self._computed = None
+        # a new rule can derive from any existing fact: full recompute,
+        # and the persistent indexes (which mirror the old model) go too
+        self._invalidate()
+        # negated *predicates* are non-monotone in the fact database and
+        # bar incremental evaluation; negated builtins are per-binding
+        # filters independent of the facts, so they don't
+        if any(
+            literal.negated and literal.atom.pred not in self.builtins
+            for literal in rule.body
+        ):
+            self._has_negation = True
 
     def _check_safety(self, rule: Rule) -> None:
         positive: Set[Var] = set()
         for literal in rule.body:
-            if not literal.negated and literal.atom.pred not in self.builtins:
+            # positive predicates bind their variables; positive builtins
+            # may bind outputs; negation (of either kind) binds nothing
+            if not literal.negated:
                 positive |= literal.atom.vars()
-            if literal.atom.pred in self.builtins:
-                positive |= literal.atom.vars()  # builtins may bind outputs
         unsafe = rule.head.vars() - positive
         if unsafe:
             raise DatalogError(
@@ -147,7 +248,16 @@ class Program:
     ) -> Iterator[Substitution]:
         atom = literal.atom
         if atom.pred in self.builtins:
-            yield from self._solve_builtin(atom, subst)
+            solutions = self._solve_builtin(atom, subst)
+            if literal.negated:
+                # negation as failure over a builtin: succeed iff no
+                # builtin solution unifies with the current bindings
+                # (builtins are pure functions of their arguments, so
+                # this stays monotone in the fact database)
+                if next(solutions, None) is None:
+                    yield subst
+                return
+            yield from solutions
             return
         if literal.negated:
             bound = self._require_ground(atom, subst, "negated literal")
@@ -155,7 +265,9 @@ class Program:
                 yield subst
             return
         if restrict is not None:
-            facts: Iterable[Fact] = restrict  # delta sets are small: scan
+            facts: Iterable[Fact] = restrict
+            if self.use_fact_indexes and len(restrict) > DELTA_INDEX_THRESHOLD:
+                facts = self._delta_candidates(atom, subst, restrict)
         elif self.use_fact_indexes:
             facts = self._candidate_facts(atom, subst, database)
         else:
@@ -168,14 +280,12 @@ class Program:
     # ------------------------------------------------------------------
     # Fact indexes
     # ------------------------------------------------------------------
-    def _candidate_facts(
-        self, atom: Atom, subst: Substitution, database: Dict[str, Set[Fact]]
-    ) -> Iterable[Fact]:
-        """Facts of ``atom.pred`` that can possibly match under ``subst``:
-        probes the (pred, bound positions) index when any argument is
-        bound, falling back to the full fact set otherwise.  ``_unify``
-        still validates every candidate, so this is purely a filter."""
-        all_facts = database.get(atom.pred, ())
+    def _bound_probe(
+        self, atom: Atom, subst: Substitution
+    ) -> Optional[Tuple[Tuple[int, ...], Tuple[Any, ...]]]:
+        """The (bound positions, bound values) of ``atom`` under
+        ``subst``, or ``None`` when nothing is bound / a bound value is
+        unhashable (builtin output) and only a scan can serve."""
         positions: List[int] = []
         values: List[Any] = []
         for i, term in enumerate(atom.terms):
@@ -187,24 +297,70 @@ class Program:
                 if value is not _MISSING:
                     positions.append(i)
                     values.append(value)
-        if not positions or not all_facts:
-            return all_facts
+        if not positions:
+            return None
+        probe = tuple(values)
         try:
-            probe = tuple(values)
             hash(probe)
         except TypeError:
-            return all_facts  # unhashable binding (builtin output): scan
-        signature = (atom.pred, tuple(positions))
+            return None
+        return tuple(positions), probe
+
+    def _candidate_facts(
+        self, atom: Atom, subst: Substitution, database: Dict[str, Set[Fact]]
+    ) -> Iterable[Fact]:
+        """Facts of ``atom.pred`` that can possibly match under ``subst``:
+        probes the (pred, bound positions) index when any argument is
+        bound, falling back to the full fact set otherwise.  ``_unify``
+        still validates every candidate, so this is purely a filter."""
+        all_facts = database.get(atom.pred, ())
+        if not all_facts:
+            return all_facts
+        bound = self._bound_probe(atom, subst)
+        if bound is None:
+            return all_facts
+        positions, probe = bound
+        signature = (atom.pred, positions)
         index = self._fact_indexes.get(signature)
         if index is None:
-            index = {}
-            key_of = self._fact_key(tuple(positions))
-            for fact in all_facts:
-                key = key_of(fact)
-                if key is not None:
-                    index.setdefault(key, []).append(fact)
+            self.counters["index_builds"] += 1
+            index = self._build_fact_index(all_facts, positions)
             self._fact_indexes[signature] = index
         return index.get(probe, ())
+
+    def _delta_candidates(
+        self, atom: Atom, subst: Substitution, restrict: Set[Fact]
+    ) -> Iterable[Fact]:
+        """Like :meth:`_candidate_facts` but over one semi-naive delta
+        set: large deltas are indexed once per round (keyed by the set's
+        identity; the round's driver clears the cache) so each probe is
+        a dict hit instead of a scan of the whole delta."""
+        bound = self._bound_probe(atom, subst)
+        if bound is None:
+            return restrict
+        positions, probe = bound
+        signature = (id(restrict), atom.pred, positions)
+        index = self._delta_indexes.get(signature)
+        if index is None:
+            self.counters["delta_index_builds"] += 1
+            index = self._build_fact_index(restrict, positions)
+            self._delta_indexes[signature] = index
+        return index.get(probe, ())
+
+    @classmethod
+    def _build_fact_index(
+        cls, facts: Iterable[Fact], positions: Tuple[int, ...]
+    ) -> Dict[Tuple[Any, ...], List[Fact]]:
+        """One pass over ``facts``: projection onto ``positions`` →
+        matching facts (facts too short to project are unindexable and
+        can never match an atom with those positions bound)."""
+        index: Dict[Tuple[Any, ...], List[Fact]] = {}
+        key_of = cls._fact_key(positions)
+        for fact in facts:
+            key = key_of(fact)
+            if key is not None:
+                index.setdefault(key, []).append(fact)
+        return index
 
     @staticmethod
     def _fact_key(positions: Tuple[int, ...]):
@@ -321,14 +477,57 @@ class Program:
                     stack.append((index + 1, extended))
         return derived
 
-    def evaluate(self) -> Dict[str, Set[Fact]]:
-        """Compute the full model (memoized until facts/rules change)."""
-        if self._computed is not None:
-            return self._computed
+    @staticmethod
+    def _owned_set(
+        database: Dict[str, Set[Fact]], owned: Optional[Set[str]], pred: str
+    ) -> Set[Fact]:
+        """The mutable fact set for ``pred`` in ``database``.
+
+        With ``owned`` tracking (incremental evaluation), per-pred sets
+        start out shared with the previous model and are copied on first
+        write — untouched predicates never pay a copy, and references
+        handed out by earlier ``evaluate()`` calls stay frozen."""
+        existing = database.get(pred)
+        if existing is None:
+            existing = database[pred] = set()
+            if owned is not None:
+                owned.add(pred)
+        elif owned is not None and pred not in owned:
+            existing = database[pred] = set(existing)
+            owned.add(pred)
+        return existing
+
+    def _semi_naive(
+        self,
+        rules: List[Rule],
+        database: Dict[str, Set[Fact]],
+        delta: Dict[str, Set[Fact]],
+        owned: Optional[Set[str]] = None,
+    ) -> None:
+        """Iterate ``rules`` to fixpoint, starting from ``delta``;
+        ``database`` is updated in place (copy-on-write per pred when
+        ``owned`` is given) and the persistent fact indexes are extended
+        with every fresh fact."""
+        while delta:
+            next_delta: Dict[str, Set[Fact]] = {}
+            for rule in rules:
+                new = self._eval_rule(rule, database, delta)
+                fresh = new - database.get(rule.head.pred, set())
+                if fresh:
+                    existing = self._owned_set(database, owned, rule.head.pred)
+                    existing |= fresh
+                    self._index_new_facts(rule.head.pred, fresh)
+                    next_delta.setdefault(rule.head.pred, set()).update(fresh)
+            self._delta_indexes.clear()  # round over: delta sets retire
+            delta = next_delta
+
+    def _evaluate_full(self) -> Dict[str, Set[Fact]]:
+        """Stratified fixpoint from the raw extensional facts."""
+        self.counters["full_evals"] += 1
+        self._fact_indexes.clear()
         database: Dict[str, Set[Fact]] = {
             pred: set(facts) for pred, facts in self.facts.items()
         }
-        self._fact_indexes.clear()
         for stratum in self._stratify():
             stratum_preds = set(stratum)
             rules = [rule for rule in self.rules if rule.head.pred in stratum_preds]
@@ -342,20 +541,58 @@ class Program:
                 if fresh:
                     self._index_new_facts(rule.head.pred, fresh)
                     delta.setdefault(rule.head.pred, set()).update(fresh)
-            # semi-naive iterations
-            while delta:
-                next_delta: Dict[str, Set[Fact]] = {}
-                for rule in rules:
-                    new = self._eval_rule(rule, database, delta)
-                    existing = database.setdefault(rule.head.pred, set())
-                    fresh = new - existing
-                    existing |= fresh
-                    if fresh:
-                        self._index_new_facts(rule.head.pred, fresh)
-                        next_delta.setdefault(rule.head.pred, set()).update(fresh)
-                delta = next_delta
-        self._fact_indexes.clear()
-        self._computed = database
+            self._delta_indexes.clear()
+            self._semi_naive(rules, database, delta)
+        return database
+
+    def _evaluate_incremental(self) -> Dict[str, Set[Fact]]:
+        """Extend the previous model with the pending extensional delta.
+
+        Sound only for negation-free programs (monotonicity): the old
+        model is a fixpoint, so semi-naive iteration seeded with the new
+        facts derives exactly the consequences they enable.  The
+        persistent fact indexes are extended with the same fresh sets —
+        never rebuilt.
+        """
+        self.counters["incremental_evals"] += 1
+        assert self._model is not None
+        # shallow copy: per-pred sets stay shared with the previous model
+        # until first written (copy-on-write via _owned_set), so work —
+        # including copying — is proportional to the predicates the delta
+        # touches, and references handed out earlier stay frozen
+        database = dict(self._model)
+        owned: Set[str] = set()
+        delta: Dict[str, Set[Fact]] = {}
+        for pred, fact in self._pending:
+            if fact not in database.get(pred, ()):
+                self._owned_set(database, owned, pred).add(fact)
+                self._index_new_facts(pred, (fact,))
+                delta.setdefault(pred, set()).add(fact)
+        self._semi_naive(list(self.rules), database, delta, owned)
+        return database
+
+    def evaluate(self) -> Dict[str, Set[Fact]]:
+        """Compute the full model (memoized until facts/rules change).
+
+        After the first fixpoint, a negation-free program re-evaluates
+        incrementally from the pending ``add_fact`` delta; programs with
+        negation, and any program after ``retract_fact``/``reset``/
+        ``add_rule``, recompute from scratch.
+        """
+        if self._fresh and self._model is not None:
+            return self._model
+        if (
+            self._model is not None
+            and not self._needs_full
+            and not self._has_negation
+        ):
+            database = self._evaluate_incremental()
+        else:
+            database = self._evaluate_full()
+        self._model = database
+        self._fresh = True
+        self._needs_full = False
+        self._pending.clear()
         return database
 
     def query(self, pred: str) -> Set[Fact]:

@@ -30,6 +30,7 @@ from .wal import (
     KIND_INSERT,
     WalRecord,
     WriteAheadLog,
+    coalesce_replay,
     replay_committed,
 )
 
@@ -189,16 +190,19 @@ class Database:
     ) -> List[int]:
         """Load rows without transaction machinery (no undo, no WAL).
 
-        The snapshot-restore fast path: constraints and indexes are still
-        enforced row by row, but none of the per-row begin/undo/commit
-        bookkeeping of :meth:`insert_many` is paid.  Only valid outside a
-        transaction; a constraint failure leaves earlier rows in place
-        (callers restore into a fresh database and discard it on error).
+        The snapshot-restore and recovery fast path: the batch is
+        validated up front (primary-key and unique-index violations,
+        against existing rows and within the batch) and then applied
+        with one index pass — empty indexes are bulk-built, populated
+        ordered indexes are merged — instead of per-row index
+        maintenance and begin/undo/commit bookkeeping.  Only valid
+        outside a transaction; a failing batch leaves the table
+        unchanged.
         """
         if self._active_txn is not None:
             raise TransactionError("bulk_load is not allowed inside a transaction")
         table = self.table(table_name)
-        return [table.insert(row) for row in rows]
+        return table.bulk_insert(rows)
 
     def delete_where(self, table_name: str, predicate: Optional[Expr] = None) -> int:
         """Delete matching rows; returns the count."""
@@ -267,31 +271,38 @@ class Database:
     def recover(self) -> int:
         """REDO recovery: replay committed transactions from the WAL.
 
+        Replay is bulk, not row-at-a-time: committed inserts are grouped
+        into per-table runs (``coalesce_replay``) and applied through
+        :meth:`bulk_load`'s batch path, so the heap is appended in one
+        pass and secondary indexes are bulk-built or merged once per run
+        instead of being maintained per row.  Deletes flush their
+        table's pending run first, preserving per-table order.
+
         Returns the number of transactions replayed.  Tables must already
         exist (schema is metadata, not logged — as in most real systems).
         """
         if self._wal is None:
             raise TransactionError("this database has no WAL to recover from")
-        replayed = 0
-        for txn_id, records in replay_committed(self._wal):
-            for record in records:
-                table = self.table(record.table)
-                if record.kind == KIND_INSERT:
-                    table.insert(record.row)
-                elif table.schema.primary_key:
-                    # pk point lookup instead of a full scan: a row equal
-                    # to the logged one necessarily shares its key
-                    found = table.lookup_pk(table.schema.key_of(record.row))
-                    if found is not None and found[1] == record.row:
-                        table.delete_row(found[0])
-                else:
-                    for rowid, row in list(table.scan()):
-                        if row == record.row:
-                            table.delete_row(rowid)
-                            break
-            replayed += 1
+        transactions = list(replay_committed(self._wal))
+        for txn_id, _records in transactions:
             self._next_txn_id = max(self._next_txn_id, txn_id + 1)
-        return replayed
+        flat = (record for _txn_id, records in transactions for record in records)
+        for op, table_name, payload in coalesce_replay(flat):
+            table = self.table(table_name)
+            if op == "bulk_insert":
+                table.bulk_insert(payload)
+            elif table.schema.primary_key:
+                # pk point lookup instead of a full scan: a row equal
+                # to the logged one necessarily shares its key
+                found = table.lookup_pk(table.schema.key_of(payload))
+                if found is not None and found[1] == payload:
+                    table.delete_row(found[0])
+            else:
+                for rowid, row in list(table.scan()):
+                    if row == payload:
+                        table.delete_row(rowid)
+                        break
+        return len(transactions)
 
     # ------------------------------------------------------------------
     # Statistics

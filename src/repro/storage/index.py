@@ -17,7 +17,8 @@ sorted list, while range and prefix scans stream blocks in order.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+from operator import itemgetter
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .errors import DuplicateKeyError
 
@@ -26,6 +27,9 @@ __all__ = ["HashIndex", "OrderedIndex", "MIN_KEY", "MAX_KEY"]
 Key = Tuple[Any, ...]
 Entry = Tuple[Key, int]
 
+_ENTRY_KEY = itemgetter(0)
+_ENTRY_ROWID = itemgetter(1)
+
 
 class HashIndex:
     """Equality index mapping key tuples to row ids.
@@ -33,6 +37,12 @@ class HashIndex:
     Buckets are insertion-ordered dicts, so iteration order is the order
     rows were indexed (ascending row id for append-only workloads) and
     lookups need no per-call sort.
+
+    Lifecycle (shared with :class:`OrderedIndex` — see
+    ``docs/ARCHITECTURE.md``): construct empty and :meth:`insert` row by
+    row, or construct pre-populated with :meth:`bulk_build`; maintain
+    with :meth:`insert`/:meth:`delete`; drop everything with
+    :meth:`clear`.
     """
 
     def __init__(self, name: str, unique: bool = False) -> None:
@@ -40,7 +50,37 @@ class HashIndex:
         self.unique = unique
         self._buckets: Dict[Key, Dict[int, None]] = {}
 
+    @classmethod
+    def bulk_build(
+        cls, name: str, entries: Iterable[Entry], unique: bool = False
+    ) -> "HashIndex":
+        """Build an index holding ``entries`` (``(key, rowid)`` pairs).
+
+        One pass over the entries — the hash shape has no sort to
+        amortize, so this exists for lifecycle symmetry with
+        :meth:`OrderedIndex.bulk_build`: every bulk code path (snapshot
+        restore, WAL replay, ``create_index`` backfill) constructs both
+        index kinds the same way.  Duplicate keys raise
+        :class:`~repro.storage.errors.DuplicateKeyError` when ``unique``.
+        """
+        index = cls(name, unique=unique)
+        buckets = index._buckets
+        if unique:
+            for key, rowid in entries:
+                if key in buckets:
+                    raise DuplicateKeyError(
+                        f"duplicate key {key!r} in unique index {name!r}"
+                    )
+                buckets[key] = {rowid: None}
+        else:
+            for key, rowid in entries:
+                buckets.setdefault(key, {})[rowid] = None
+        return index
+
     def insert(self, key: Key, rowid: int) -> None:
+        """Index ``rowid`` under ``key``; raises
+        :class:`~repro.storage.errors.DuplicateKeyError` if the index is
+        ``unique`` and the key is already present."""
         bucket = self._buckets.setdefault(key, {})
         if self.unique and bucket:
             raise DuplicateKeyError(f"duplicate key {key!r} in unique index {self.name!r}")
@@ -129,6 +169,18 @@ class OrderedIndex:
     in-order streaming scans.  Semantics match the flat sorted list it
     replaced: duplicates allowed unless ``unique``, lookups/scans yield
     row ids in ``(key, rowid)`` order.
+
+    Lifecycle (see ``docs/ARCHITECTURE.md``):
+
+    * **build** — construct empty, :meth:`insert` row by row;
+    * **bulk-build** — :meth:`bulk_build` sorts the full entry set once
+      and slices it straight into blocks, O(n log n) with tiny
+      constants; the backfill path behind ``Table.create_index``,
+      snapshot restore, and WAL replay;
+    * **maintain** — :meth:`insert`/:meth:`delete` keep the structure
+      consistent under churn;
+    * **recover** — after a crash, indexes are *derived* state: they are
+      bulk-built from the replayed heap, never logged.
     """
 
     def __init__(self, name: str, unique: bool = False) -> None:
@@ -137,6 +189,58 @@ class OrderedIndex:
         self._blocks: List[List[Entry]] = []
         self._maxes: List[Entry] = []
         self._len = 0
+
+    @classmethod
+    def bulk_build(
+        cls,
+        name: str,
+        entries: Iterable[Entry],
+        unique: bool = False,
+        presorted: bool = False,
+    ) -> "OrderedIndex":
+        """Build an index over ``entries`` in one O(n log n) pass.
+
+        Sort-then-chunk: the ``(key, rowid)`` pairs are sorted once
+        (Timsort, C speed — ``presorted=True`` skips even that, for
+        callers merging already-sorted runs) and sliced into maximally
+        loaded blocks, instead of paying a bisect + ``insort`` memmove
+        per entry.  The result is observationally identical to inserting
+        the entries one at a time (the hypothesis property in
+        ``tests/test_index_properties.py`` holds the two paths equal
+        under every scan shape); only the internal block boundaries may
+        differ.  Duplicate keys raise
+        :class:`~repro.storage.errors.DuplicateKeyError` when ``unique``.
+        """
+        ordered = list(entries)
+        if not presorted:
+            # two stable passes (rowid, then key) yield exact (key, rowid)
+            # order while comparing ints and bare key tuples instead of
+            # nested (key, rowid) pairs — measurably cheaper than one
+            # full-entry sort (see the bulk_index_build microbenchmark)
+            try:
+                ordered.sort(key=_ENTRY_ROWID)
+            except TypeError:
+                # mixed-type rowids under distinct keys: only the full
+                # entry sort (which compares rowids lazily) can order them
+                ordered.sort()
+            else:
+                ordered.sort(key=_ENTRY_KEY)
+        index = cls(name, unique=unique)
+        if unique:
+            for position in range(1, len(ordered)):
+                if ordered[position - 1][0] == ordered[position][0]:
+                    raise DuplicateKeyError(
+                        f"duplicate key {ordered[position][0]!r} in unique "
+                        f"index {name!r}"
+                    )
+        # maximally loaded blocks: splits only begin after _LOAD further
+        # inserts land in one block, so a freshly built index is compact
+        index._blocks = [
+            ordered[start : start + _LOAD] for start in range(0, len(ordered), _LOAD)
+        ]
+        index._maxes = [block[-1] for block in index._blocks]
+        index._len = len(ordered)
+        return index
 
     # ------------------------------------------------------------------
     # Position helpers
@@ -255,6 +359,7 @@ class OrderedIndex:
     # Lookups
     # ------------------------------------------------------------------
     def lookup(self, key: Key) -> Set[int]:
+        """The set of row ids indexed under exactly ``key``."""
         return set(self.lookup_iter(key))
 
     def lookup_iter(self, key: Key) -> Iterator[int]:
@@ -263,6 +368,12 @@ class OrderedIndex:
             if entry_key != key:
                 break
             yield rowid
+
+    def contains(self, key: Key) -> bool:
+        """Whether any entry is indexed under exactly ``key`` (one
+        bisection; the uniqueness probe of the bulk-insert path)."""
+        at = self._entry_at(*self._find_left((key, _MIN)))
+        return at is not None and at[0] == key
 
     def range(
         self,

@@ -147,7 +147,9 @@ def load_snapshot(path: str, name: str = "db") -> Database:
             rows.append(row)
         if rows:
             # fast path: snapshot rows were valid when written, so skip
-            # the per-row transaction bookkeeping of insert_many
+            # the per-row transaction bookkeeping of insert_many; the
+            # batch lands in one heap append and the table's indexes are
+            # bulk-built (sort-then-chunk) rather than grown row by row
             db.bulk_load(table_name, rows)
     return db
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from heapq import merge
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from .errors import ConstraintError, DuplicateKeyError, SchemaError
@@ -91,15 +92,24 @@ class Table:
     # Index management
     # ------------------------------------------------------------------
     def create_index(self, spec: IndexSpec) -> None:
+        """Register a secondary index and backfill it from the live rows.
+
+        The backfill is a bulk build — one sort over the projected
+        entries for an ordered index — rather than a per-row insert
+        loop, so creating an index on a populated table is O(n log n)
+        with small constants.
+        """
         if spec.name in self._indexes:
             raise SchemaError(f"index {spec.name!r} already exists")
+        project = self.schema.project
+        entries = (
+            (project(row, spec.columns), rowid) for rowid, row in self._rows.items()
+        )
         index: Union[HashIndex, OrderedIndex]
         if spec.ordered:
-            index = OrderedIndex(spec.name, unique=spec.unique)
+            index = OrderedIndex.bulk_build(spec.name, entries, unique=spec.unique)
         else:
-            index = HashIndex(spec.name, unique=spec.unique)
-        for rowid, row in self._rows.items():
-            index.insert(self.schema.project(row, spec.columns), rowid)
+            index = HashIndex.bulk_build(spec.name, entries, unique=spec.unique)
         self._indexes[spec.name] = index
         self._index_specs[spec.name] = spec
 
@@ -186,6 +196,91 @@ class Table:
         self._byte_size += self.schema.row_bytes(normalized)
         self._stats_add(normalized)
         return rowid
+
+    def bulk_insert(self, rows: Sequence["Sequence[Any] | Dict[str, Any]"]) -> List[int]:
+        """Append a batch of rows with one index pass instead of per-row
+        index maintenance; returns the new row ids.
+
+        Validate-then-apply: primary-key and unique-index violations
+        (against existing rows *and* within the batch) are detected
+        before any structure is touched, so a failing batch leaves the
+        table unchanged.  Index maintenance then takes the cheapest
+        lifecycle path per index — an empty index is bulk-built from the
+        sorted batch, a batch larger than an ordered index is merged
+        with its sorted entries into a rebuilt index (both O(n log n)
+        overall), and a small batch against a large index falls back to
+        incremental inserts.
+        """
+        normalized = [self.schema.normalize_row(row) for row in rows]
+        if not normalized:
+            return []
+        first = self._next_rowid
+        rowids = list(range(first, first + len(normalized)))
+
+        # -- validate ---------------------------------------------------
+        if self._pk_index is not None:
+            seen: Set[Tuple[Any, ...]] = set()
+            for row in normalized:
+                key = self.schema.key_of(row)
+                if any(part is None for part in key):
+                    raise ConstraintError(
+                        f"primary key of {self.schema.name!r} may not contain NULL"
+                    )
+                if key in seen or self._pk_index.contains(key):
+                    raise DuplicateKeyError(
+                        f"duplicate key {key!r} in unique index "
+                        f"{self._pk_index.name!r}"
+                    )
+                seen.add(key)
+        batch_entries: Dict[str, List[Tuple[Tuple[Any, ...], int]]] = {}
+        for name, index in self._indexes.items():
+            columns = self._index_specs[name].columns
+            entries = [
+                (self.schema.project(row, columns), rowid)
+                for row, rowid in zip(normalized, rowids)
+            ]
+            if index.unique:
+                seen = set()
+                for key, _rowid in entries:
+                    if key in seen or index.contains(key):
+                        raise DuplicateKeyError(
+                            f"duplicate key {key!r} in unique index {name!r}"
+                        )
+                    seen.add(key)
+            batch_entries[name] = entries
+
+        # -- apply ------------------------------------------------------
+        for row, rowid in zip(normalized, rowids):
+            self._rows[rowid] = row
+            self._byte_size += self.schema.row_bytes(row)
+            self._stats_add(row)
+        self._next_rowid = rowids[-1] + 1
+        self._max_seen_rowid = rowids[-1]  # fresh ids: dict stays ordered
+        if self._pk_index is not None:
+            for row, rowid in zip(normalized, rowids):
+                self._pk_index.insert(self.schema.key_of(row), rowid)
+        for name, entries in batch_entries.items():
+            index = self._indexes[name]
+            spec = self._index_specs[name]
+            if isinstance(index, OrderedIndex):
+                if len(index) == 0:
+                    self._indexes[name] = OrderedIndex.bulk_build(
+                        spec.name, entries, unique=spec.unique
+                    )
+                elif len(entries) >= len(index):
+                    entries.sort()
+                    merged = merge(index.items(), entries)
+                    self._indexes[name] = OrderedIndex.bulk_build(
+                        spec.name, merged, unique=spec.unique, presorted=True
+                    )
+                else:
+                    for key, rowid in entries:
+                        index.insert(key, rowid)
+            else:
+                # hash buckets are O(1) per entry either way
+                for key, rowid in entries:
+                    index.insert(key, rowid)
+        return rowids
 
     def _unindex(self, rowid: int, row: Row, stop_at: Optional[str] = None) -> None:
         for name, index in self._indexes.items():
@@ -332,7 +427,17 @@ class Table:
     ) -> Iterator[Tuple[int, Row]]:
         """Rows with index key in ``[low, high]`` via an ordered index,
         streamed in ascending (or, with ``reverse``, descending) key
-        order."""
+        order.
+
+        ``low``/``high`` are key tuples; ``None`` leaves that side open.
+        Partial keys over a multi-column index are padded by the caller
+        with :data:`~repro.storage.index.MIN_KEY` /
+        :data:`~repro.storage.index.MAX_KEY` (e.g. ``high=("T/a",
+        MAX_KEY)`` for "every entry whose first column is T/a").
+        ``include_low``/``include_high`` select closed vs open bounds.
+        This is the access path behind the planner's ``IndexRangeScan``
+        and the store's time-travel reads.
+        """
         index = self._indexes[index_name]
         if not isinstance(index, OrderedIndex):
             raise ConstraintError(f"index {index_name!r} does not support range scans")

@@ -29,7 +29,7 @@ from .codec import decode_values, encode_values
 from .errors import WALError
 from .schema import TableSchema
 
-__all__ = ["WalRecord", "WriteAheadLog", "replay_committed"]
+__all__ = ["WalRecord", "WriteAheadLog", "replay_committed", "coalesce_replay"]
 
 KIND_BEGIN = 0
 KIND_COMMIT = 1
@@ -153,6 +153,37 @@ class WriteAheadLog:
         self.close()
         with open(self.path, "wb"):
             pass
+
+
+def coalesce_replay(
+    records: "Iterator[WalRecord] | List[WalRecord]",
+) -> Iterator[Tuple[str, str, Any]]:
+    """Collapse a committed-record stream into per-table bulk operations.
+
+    Recovery used to push every logged insert through the row-at-a-time
+    constraint-checking path; this generator instead groups consecutive
+    committed inserts per table (across transaction boundaries) so the
+    caller can bulk-load each run and bulk-build indexes once.  Yields
+    ``("bulk_insert", table, rows)`` and ``("delete", table, row)``.
+
+    Per-table operation order is preserved exactly: a delete flushes the
+    pending insert run *of its own table* first, so an insert → delete →
+    re-insert sequence on one primary key replays correctly, while runs
+    on unrelated tables keep accumulating.
+    """
+    pending: Dict[str, List[Tuple[Any, ...]]] = {}
+    for record in records:
+        if record.kind == KIND_INSERT:
+            pending.setdefault(record.table, []).append(record.row)
+        elif record.kind == KIND_DELETE:
+            rows = pending.pop(record.table, None)
+            if rows:
+                yield "bulk_insert", record.table, rows
+            yield "delete", record.table, record.row
+        else:  # pragma: no cover - replay_committed only yields DML
+            raise WALError(f"unexpected {record.kind_name} record in replay")
+    for table, rows in pending.items():
+        yield "bulk_insert", table, rows
 
 
 def replay_committed(

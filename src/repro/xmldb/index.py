@@ -1,11 +1,21 @@
-"""Element-label index for the XML store.
+"""Element-label index for the XML store, built on the storage engine's
+blocked :class:`~repro.storage.index.OrderedIndex`.
 
 Native XML databases (Timber among them) keep element indexes so that
 descendant queries (``//interaction``) need not walk the whole tree.
-:class:`ElementIndex` maintains label → node-id sets incrementally as an
-observer of an :class:`~repro.xmldb.store.XMLDatabase`, and
-:func:`evaluate_indexed` runs the XPath subset against the store using
-the index for descendant steps.
+:class:`ElementIndex` maintains a ``(label,) → node id`` ordered index
+incrementally as an observer of an :class:`~repro.xmldb.store.
+XMLDatabase`, and :func:`evaluate_indexed` runs the XPath subset against
+the store using the index for descendant steps.
+
+Until PR 3 the index was a hand-rolled ``dict[str, set]``; it now reuses
+the storage layer's index objects so all three layers (relational
+tables, XML view, datalog facts) share one index implementation, one
+maintenance path, and one bulk-build entry point (see
+``docs/ARCHITECTURE.md``).  Lookups are blocked range scans, label
+enumeration streams the index in order, and the initial build over an
+already-populated store is a single sort-then-chunk
+:meth:`~repro.storage.index.OrderedIndex.bulk_build`.
 
 Keyed edge labels (``interaction{3}``) index under their *base* label
 (``interaction``), so ``//interaction`` finds every keyed instance.
@@ -13,9 +23,10 @@ Keyed edge labels (``interaction{3}``) index under their *base* label
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Iterator, List, Set
 
 from ..core.paths import Path
+from ..storage.index import OrderedIndex
 from .store import NodeId, XMLDatabase
 from .xpath import XPath, base_label
 
@@ -23,44 +34,64 @@ __all__ = ["ElementIndex", "evaluate_indexed", "base_label"]
 
 
 class ElementIndex:
-    """label -> node ids, kept in sync with the store via its hooks."""
+    """``(label,) → node ids``, kept in sync with the store via its hooks.
+
+    The entries live in a storage-layer :class:`OrderedIndex` keyed by
+    the one-column tuple ``(base_label,)`` with the node id in the row-id
+    slot — exactly the shape a relational secondary index has, so every
+    lifecycle operation (bulk build, incremental maintenance, ordered
+    streaming) is inherited rather than re-implemented.
+    """
 
     def __init__(self, db: XMLDatabase) -> None:
         self.db = db
-        self._by_label: Dict[str, Set[NodeId]] = {}
+        self._index = OrderedIndex(f"{db.name}_labels")
         self._rebuild()
         db.add_observer(self)
 
     # ------------------------------------------------------------------
     def _rebuild(self) -> None:
-        self._by_label.clear()
+        """Bulk-build the index from the store's current contents (one
+        sort over all edges — the O(n log n) initial-population path)."""
+        entries = []
         for path, _value in self.db.iter_paths():
             if path.is_root:
                 continue
-            node_id = self.db.resolve(path)
-            self._by_label.setdefault(base_label(path.last), set()).add(node_id)
+            entries.append(((base_label(path.last),), self.db.resolve(path)))
+        self._index = OrderedIndex.bulk_build(self._index.name, entries)
 
     # observer hooks ----------------------------------------------------
     def node_added(self, node_id: NodeId, label: str) -> None:
-        self._by_label.setdefault(base_label(label), set()).add(node_id)
+        self._index.insert((base_label(label),), node_id)
 
     def node_removed(self, node_id: NodeId, label: str) -> None:
-        bucket = self._by_label.get(base_label(label))
-        if bucket is not None:
-            bucket.discard(node_id)
-            if not bucket:
-                del self._by_label[base_label(label)]
+        self._index.delete((base_label(label),), node_id)
 
     # ------------------------------------------------------------------
     def lookup(self, label: str) -> Set[NodeId]:
         """Node ids whose (base) edge label is ``label``."""
-        return set(self._by_label.get(label, ()))
+        return self._index.lookup((label,))
+
+    def lookup_iter(self, label: str) -> Iterator[NodeId]:
+        """Node ids for ``label``, streamed in ascending id order
+        without materializing the set."""
+        return self._index.lookup_iter((label,))
 
     def labels(self) -> List[str]:
-        return sorted(self._by_label)
+        """All distinct (base) labels, sorted — a streaming pass over
+        the ordered index, not a dict-keys copy."""
+        out: List[str] = []
+        for (label,), _node_id in self._index.items():
+            if not out or out[-1] != label:
+                out.append(label)
+        return out
 
     def count(self, label: str) -> int:
-        return len(self._by_label.get(label, ()))
+        """Number of live nodes under ``label`` (blocked range scan)."""
+        return sum(1 for _ in self._index.lookup_iter((label,)))
+
+    def __len__(self) -> int:
+        return len(self._index)
 
 
 def evaluate_indexed(
@@ -69,22 +100,18 @@ def evaluate_indexed(
     """Evaluate an XPath-subset expression against the store.
 
     Descendant steps (``//label``) resolve through the element index —
-    candidate node ids come straight from the index, then each
-    candidate's unique path is matched against the full expression.
-    Expressions without a concrete descendant label fall back to the
-    generic tree evaluation."""
+    candidate node ids come straight from the index (via
+    :meth:`XPath.anchor_label`), then each candidate's unique path is
+    matched against the full expression.  Expressions without a concrete
+    descendant label fall back to the generic tree evaluation."""
     xpath = XPath(expression)
-    anchor: Optional[str] = None
-    for step in xpath.steps:
-        if step.descendant and step.label is not None:
-            anchor = step.label
-            break
+    anchor = xpath.anchor_label()
     if anchor is None:
         return xpath.evaluate(db.subtree(Path()))
 
     results: Set[Path] = set()
     tree = None
-    for node_id in index.lookup(anchor):
+    for node_id in index.lookup_iter(anchor):
         path = db.path_of(node_id)
         # candidate paths that structurally match contribute; predicates
         # still need node content, so check against the exported subtree

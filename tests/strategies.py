@@ -66,6 +66,12 @@ def index_ops(max_size: int = 60) -> st.SearchStrategy[List[tuple]]:
     )
 
 
+#: Entry lists for bulk-build equivalence: the small key space produces
+#: heavy duplication, and duplicated (key, rowid) pairs are allowed —
+#: bulk_build must agree with incremental insert on those too.
+index_entries = st.lists(st.tuples(index_keys, index_rowids), max_size=80)
+
+
 def small_trees(max_depth: int = 3) -> st.SearchStrategy[Tree]:
     """Random small trees with values at the leaves."""
     leaves = st.one_of(

@@ -1,0 +1,258 @@
+"""Regression tests for the persistent datalog index lifecycle.
+
+The engine keeps its fact indexes and last model alive across
+``add_fact``/``evaluate`` cycles (incremental semi-naive restart for
+negation-free programs) and must invalidate them *coherently* on the
+non-monotone paths (``retract_fact``, ``reset``, ``add_rule``,
+negation).  Every interleaving here is checked against a fresh-engine
+oracle — a new :class:`Program` rebuilt from the final fact set, whose
+single from-scratch evaluation is the ground truth.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.ast import Atom, Literal, Rule, Var
+from repro.datalog.engine import DELTA_INDEX_THRESHOLD, Program
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+CLOSURE_RULES = (
+    Rule(Atom("path", (X, Y)), (Literal(Atom("edge", (X, Y))),)),
+    Rule(
+        Atom("path", (X, Z)),
+        (Literal(Atom("edge", (X, Y))), Literal(Atom("path", (Y, Z)))),
+    ),
+)
+
+
+def closure_program(edges, use_fact_indexes=True):
+    program = Program(use_fact_indexes=use_fact_indexes)
+    program.add_facts("edge", edges)
+    for rule in CLOSURE_RULES:
+        program.add_rule(rule)
+    return program
+
+
+def oracle_paths(edges):
+    return closure_program(list(edges)).query("path")
+
+
+class TestIncrementalEvaluate:
+    def test_interleaved_add_fact_matches_fresh_oracle(self):
+        edges = [(1, 2), (2, 3), (3, 4)]
+        program = closure_program(edges)
+        assert program.query("path") == oracle_paths(edges)
+        for extra in [(4, 5), (0, 1), (5, 1)]:
+            program.add_fact("edge", extra)
+            edges.append(extra)
+            assert program.query("path") == oracle_paths(edges)
+        assert program.counters["full_evals"] == 1
+        assert program.counters["incremental_evals"] == 3
+
+    def test_indexes_not_rebuilt_after_single_add_fact(self):
+        """The acceptance criterion: repeated evaluate() after one
+        add_fact extends the persistent fact indexes instead of
+        rebuilding them from scratch."""
+        program = closure_program([(i, i + 1) for i in range(10)])
+        program.evaluate()
+        builds_after_first = program.counters["index_builds"]
+        assert builds_after_first > 0  # the fixpoint really used indexes
+        program.add_fact("edge", (10, 11))
+        program.evaluate()
+        assert program.counters["index_builds"] == builds_after_first
+        assert program.counters["incremental_evals"] == 1
+        # and the incrementally extended indexes answer correctly
+        assert program.query("path") == oracle_paths(
+            [(i, i + 1) for i in range(11)]
+        )
+
+    def test_add_known_fact_keeps_model_fresh(self):
+        program = closure_program([(1, 2)])
+        program.evaluate()
+        program.add_fact("edge", (1, 2))  # already present
+        program.evaluate()
+        assert program.counters["full_evals"] == 1
+        assert program.counters["incremental_evals"] == 0
+
+    def test_evaluate_returns_frozen_model(self):
+        """References handed out by evaluate() must not mutate when a
+        later add_fact triggers an incremental round."""
+        program = closure_program([(1, 2)])
+        first = program.evaluate()["path"]
+        snapshot = set(first)
+        program.add_fact("edge", (2, 3))
+        program.evaluate()
+        assert first == snapshot
+
+    def test_incremental_matches_unindexed_engine(self):
+        edges = [(i, (i * 7) % 23) for i in range(23)]
+        indexed = closure_program(list(edges))
+        unindexed = closure_program(list(edges), use_fact_indexes=False)
+        indexed.evaluate()
+        unindexed.evaluate()
+        for extra in [(50, 0), (3, 50), (50, 51)]:
+            indexed.add_fact("edge", extra)
+            unindexed.add_fact("edge", extra)
+            assert indexed.query("path") == unindexed.query("path")
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)),
+            min_size=1,
+            max_size=16,
+        ),
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_graphs_incremental_equals_oracle(self, base, additions):
+        program = closure_program(base)
+        program.evaluate()
+        facts = set(base)
+        for extra in additions:
+            program.add_fact("edge", extra)
+            facts.add(extra)
+            assert program.query("path") == oracle_paths(facts)
+
+
+class TestInvalidation:
+    def test_retract_recomputes_from_scratch(self):
+        edges = [(1, 2), (2, 3), (3, 4)]
+        program = closure_program(list(edges))
+        assert (1, 4) in program.query("path")
+        assert program.retract_fact("edge", (2, 3))
+        assert program.query("path") == oracle_paths([(1, 2), (3, 4)])
+        assert program.counters["full_evals"] == 2
+
+    def test_retract_missing_fact_is_noop(self):
+        program = closure_program([(1, 2)])
+        model = program.query("path")
+        assert not program.retract_fact("edge", (9, 9))
+        assert program.query("path") == model
+        assert program.counters["full_evals"] == 1  # still fresh
+
+    def test_interleaved_add_retract_add_matches_oracle(self):
+        """The regression the issue calls out: persistent indexes must
+        not leak retracted facts into later incremental rounds."""
+        program = closure_program([(1, 2), (2, 3)])
+        program.evaluate()
+        program.add_fact("edge", (3, 4))
+        program.evaluate()
+        program.retract_fact("edge", (1, 2))
+        program.evaluate()
+        program.add_fact("edge", (4, 5))
+        assert program.query("path") == oracle_paths([(2, 3), (3, 4), (4, 5)])
+
+    def test_reset_clears_facts_and_indexes(self):
+        program = closure_program([(1, 2), (2, 3)])
+        program.evaluate()
+        program.reset()
+        assert program.query("path") == set()
+        program.add_fact("edge", (7, 8))
+        assert program.query("path") == {(7, 8)}
+
+    def test_add_rule_after_evaluate_recomputes(self):
+        program = closure_program([(1, 2), (2, 3)])
+        program.evaluate()
+        program.add_rule(
+            Rule(Atom("sym", (Y, X)), (Literal(Atom("edge", (X, Y))),))
+        )
+        assert program.query("sym") == {(2, 1), (3, 2)}
+        assert program.counters["full_evals"] == 2
+
+    def test_negation_always_recomputes(self):
+        """Negation is non-monotone: an added fact can *remove* derived
+        facts, so the incremental path must not fire."""
+        program = Program()
+        program.add_facts("node", [(1,), (2,)])
+        program.add_fact("edge", (1, 2))
+        program.add_rule(
+            Rule(
+                Atom("isolated", (X,)),
+                (Literal(Atom("node", (X,))), Literal(Atom("linked", (X,)), negated=True)),
+            )
+        )
+        program.add_rule(Rule(Atom("linked", (X,)), (Literal(Atom("edge", (X, Y))),)))
+        program.add_rule(Rule(Atom("linked", (Y,)), (Literal(Atom("edge", (X, Y))),)))
+        assert program.query("isolated") == set()
+        program.add_fact("node", (3,))
+        assert program.query("isolated") == {(3,)}
+        program.add_fact("edge", (3, 1))
+        # monotone growth of edge shrinks `isolated`: only a full
+        # recompute can observe that
+        assert program.query("isolated") == set()
+        assert program.counters["incremental_evals"] == 0
+        assert program.counters["full_evals"] == 3
+
+
+class TestNegatedBuiltins:
+    def test_negated_builtin_filters(self):
+        """`not leq(X, Y)` must act as negation-as-failure over the
+        builtin (X > Y), not silently evaluate it positively
+        (regression: the builtin branch used to ignore the negation
+        flag)."""
+        program = Program()
+        program.add_facts("edge", [(1, 2), (2, 2), (3, 1)])
+        program.add_rule(
+            Rule(
+                Atom("back", (X, Y)),
+                (
+                    Literal(Atom("edge", (X, Y))),
+                    Literal(Atom("leq", (X, Y)), negated=True),
+                ),
+            )
+        )
+        assert program.query("back") == {(3, 1)}
+
+    def test_negated_builtin_is_still_incremental(self):
+        """Builtins are pure functions of their bindings, so negating
+        one is monotone in the facts — no full-recompute fallback."""
+        program = Program()
+        program.add_facts("edge", [(1, 2), (2, 2), (3, 1)])
+        program.add_rule(
+            Rule(
+                Atom("back", (X,)),
+                (
+                    Literal(Atom("edge", (X, Y))),
+                    Literal(Atom("leq", (X, Y)), negated=True),
+                ),
+            )
+        )
+        assert program.query("back") == {(3,)}
+        program.add_fact("edge", (5, 3))
+        assert program.query("back") == {(3,), (5,)}
+        assert program.counters["incremental_evals"] == 1
+
+    def test_negated_builtin_binds_nothing_for_safety(self):
+        import pytest
+
+        from repro.datalog.engine import DatalogError
+
+        with pytest.raises(DatalogError):
+            Program().add_rule(
+                Rule(Atom("p", (X, Y)), (Literal(Atom("leq", (X, Y)), negated=True),))
+            )
+
+
+class TestDeltaIndexing:
+    def test_large_deltas_are_indexed_and_agree(self):
+        """A first round that derives far more than DELTA_INDEX_THRESHOLD
+        facts must route delta probes through per-round indexes and still
+        match the scan-everything engine."""
+        n = DELTA_INDEX_THRESHOLD * 3
+        edges = [(i, i + 1) for i in range(n)]
+        indexed = closure_program(list(edges))
+        unindexed = closure_program(list(edges), use_fact_indexes=False)
+        assert indexed.query("path") == unindexed.query("path")
+        assert indexed.counters["delta_index_builds"] > 0
+        assert unindexed.counters["delta_index_builds"] == 0
+
+    def test_small_deltas_stay_scanned(self):
+        edges = [(i, i + 1) for i in range(5)]
+        program = closure_program(list(edges))
+        program.evaluate()
+        assert program.counters["delta_index_builds"] == 0

@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 from repro.storage.errors import DuplicateKeyError
 from repro.storage.index import OrderedIndex, _LOAD
 
-from .strategies import index_keys, index_ops, index_rowids
+from .strategies import INDEX_KEY_TEXTS, index_entries, index_keys, index_ops, index_rowids
 
 
 class SortedListModel:
@@ -130,6 +130,72 @@ class TestBlockedIndexModel:
         assert len(index) == 0
         assert index.min_key() is None and index.max_key() is None
         assert list(index.items()) == []
+
+
+class TestBulkBuildEquivalence:
+    """``OrderedIndex.bulk_build(entries)`` must be observationally
+    identical to inserting the same entries one at a time — the property
+    the unified index lifecycle rests on (bulk-built indexes from
+    ``create_index`` backfills, snapshot restore, and WAL replay answer
+    every query exactly like incrementally grown ones)."""
+
+    @staticmethod
+    def observations(index):
+        out = [len(index), index.min_key(), index.max_key(), list(index.items())]
+        for text in INDEX_KEY_TEXTS:
+            key = (text,)
+            out.append(sorted(index.lookup_iter(key)))
+            out.append(index.lookup(key))
+            out.append(index.contains(key))
+            out.append(list(index.prefix_scan(text)))
+        bounds = [None] + [(text,) for text in INDEX_KEY_TEXTS[::3]]
+        for low in bounds:
+            for high in bounds:
+                for include_low, include_high in ((True, True), (False, False)):
+                    out.append(
+                        list(index.range(low, high, include_low, include_high))
+                    )
+                    out.append(
+                        list(
+                            index.range(
+                                low, high, include_low, include_high, reverse=True
+                            )
+                        )
+                    )
+        return out
+
+    @given(index_entries)
+    @settings(max_examples=150, deadline=None)
+    def test_bulk_equals_incremental(self, entries):
+        incremental = OrderedIndex("inc")
+        for key, rowid in entries:
+            incremental.insert(key, rowid)
+        bulk = OrderedIndex.bulk_build("bulk", entries)
+        assert self.observations(bulk) == self.observations(incremental)
+
+    @given(index_entries)
+    @settings(max_examples=60, deadline=None)
+    def test_presorted_shortcut_agrees(self, entries):
+        ordered = sorted(entries)
+        assert list(
+            OrderedIndex.bulk_build("p", ordered, presorted=True).items()
+        ) == list(OrderedIndex.bulk_build("s", entries).items())
+
+    def test_bulk_build_is_blocked(self):
+        entries = [((f"k{i:06d}",), i) for i in range(3 * _LOAD)]
+        index = OrderedIndex.bulk_build("b", entries)
+        assert len(index._blocks) == 3
+        assert all(len(block) <= _LOAD for block in index._blocks)
+        assert list(index.items()) == entries
+
+    def test_unique_bulk_build_rejects_duplicates(self):
+        with pytest.raises(DuplicateKeyError):
+            OrderedIndex.bulk_build(
+                "u", [(("a",), 1), (("b",), 2), (("a",), 3)], unique=True
+            )
+        index = OrderedIndex.bulk_build("u", [(("a",), 1), (("b",), 2)], unique=True)
+        with pytest.raises(DuplicateKeyError):
+            index.insert(("a",), 9)
 
 
 class TestRangeSentinels:

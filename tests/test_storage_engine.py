@@ -250,6 +250,79 @@ class TestTable:
             list(table.range_scan("prov_tid", low=(1,)))
 
 
+class TestBulkInsert:
+    """The batch lifecycle path: one validation pass, one index pass."""
+
+    def rows(self, n, start=0):
+        return [(start + i, "I", f"T/c{(start + i) % 7}/x{start + i}", None) for i in range(n)]
+
+    def test_bulk_matches_incremental_inserts(self):
+        bulk, incremental = Table(prov_schema()), Table(prov_schema())
+        rows = self.rows(40)
+        assert bulk.bulk_insert(rows) == [incremental.insert(row) for row in rows]
+        assert list(bulk.scan()) == list(incremental.scan())
+        assert bulk.byte_size == incremental.byte_size
+        assert list(bulk.prefix_scan("prov_loc", "T/c3/")) == list(
+            incremental.prefix_scan("prov_loc", "T/c3/")
+        )
+        assert bulk.lookup_pk((3, "T/c3/x3")) == incremental.lookup_pk((3, "T/c3/x3"))
+
+    def test_bulk_into_populated_table_merges_indexes(self):
+        table = Table(prov_schema())
+        for row in self.rows(5):
+            table.insert(row)
+        # batch much larger than the index: exercises the merge-rebuild arm
+        table.bulk_insert(self.rows(40, start=100))
+        # batch smaller than the index: exercises the incremental arm
+        table.bulk_insert(self.rows(3, start=500))
+        oracle = Table(prov_schema())
+        for row in self.rows(5) + self.rows(40, start=100) + self.rows(3, start=500):
+            oracle.insert(row)
+        assert [row for _rid, row in table.scan()] == [
+            row for _rid, row in oracle.scan()
+        ]
+        assert list(table.range_scan("prov_loc", ("T/c2",), ("T/c5",))) == list(
+            oracle.range_scan("prov_loc", ("T/c2",), ("T/c5",))
+        )
+
+    def test_batch_pk_violation_leaves_table_unchanged(self):
+        table = Table(prov_schema())
+        table.insert((1, "I", "T/a", None))
+        with pytest.raises(DuplicateKeyError):
+            table.bulk_insert([(2, "I", "T/b", None), (1, "I", "T/a", None)])
+        with pytest.raises(DuplicateKeyError):  # duplicate inside the batch
+            table.bulk_insert([(3, "I", "T/c", None), (3, "I", "T/c", None)])
+        assert table.row_count == 1
+        assert len(table._indexes["prov_tid"]) == 1
+        assert len(table._indexes["prov_loc"]) == 1
+
+    def test_batch_null_pk_rejected(self):
+        table = Table(prov_schema())
+        # normalize_row rejects the NULL in the NOT NULL pk column first
+        # (SchemaError); either way the table must be left untouched
+        with pytest.raises((ConstraintError, SchemaError)):
+            table.bulk_insert([(None, "I", "T/a", None)])
+        assert table.row_count == 0
+
+    def test_empty_batch(self):
+        table = Table(prov_schema())
+        assert table.bulk_insert([]) == []
+
+    def test_create_index_backfills_bulk(self):
+        table = Table(prov_schema())
+        rows = self.rows(30)
+        table.bulk_insert(rows)
+        table.create_index(IndexSpec("prov_src", ("loc", "tid"), ordered=True))
+        scanned = [row for _rid, row in table.range_scan("prov_src", None, None)]
+        assert scanned == sorted(rows, key=lambda row: (row[2], row[0]))
+
+    def test_bulk_insert_respects_max_stats(self):
+        table = Table(prov_schema())
+        table.track_max("tid")
+        table.bulk_insert(self.rows(10))
+        assert table.max_value("tid") == 9
+
+
 class TestUpdateRow:
     """Regression: a failing update must never destroy the old row.
 

@@ -10,13 +10,22 @@ import struct
 
 import pytest
 
-from repro.storage import Column, ColumnType, Database, TableSchema, TransactionError
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    IndexSpec,
+    TableSchema,
+    TransactionError,
+)
 from repro.storage.expr import Cmp, Col, Const
 from repro.storage.wal import (
     KIND_COMMIT,
+    KIND_DELETE,
     KIND_INSERT,
     WalRecord,
     WriteAheadLog,
+    coalesce_replay,
     replay_committed,
 )
 
@@ -181,6 +190,90 @@ class TestCrashRecovery:
         # WAL rows are opaque tuples tied to tables; no update semantics
         for record in db._wal.records():
             assert not hasattr(record, "copy_source")
+
+
+class TestCoalescedReplay:
+    """Recovery groups committed inserts into per-table bulk runs; the
+    grouping must preserve per-table operation order exactly."""
+
+    def test_coalesce_groups_across_transactions(self):
+        records = [
+            WalRecord(KIND_INSERT, 1, "a", (1,)),
+            WalRecord(KIND_INSERT, 1, "b", (10,)),
+            WalRecord(KIND_INSERT, 2, "a", (2,)),
+            WalRecord(KIND_DELETE, 2, "a", (1,)),
+            WalRecord(KIND_INSERT, 2, "a", (3,)),
+        ]
+        ops = list(coalesce_replay(records))
+        # the delete flushes table a's pending run but leaves b's alone;
+        # b's run (buffered first) flushes ahead of a's re-opened run at
+        # the end — only per-table order is guaranteed
+        assert ops == [
+            ("bulk_insert", "a", [(1,), (2,)]),
+            ("delete", "a", (1,)),
+            ("bulk_insert", "b", [(10,)]),
+            ("bulk_insert", "a", [(3,)]),
+        ]
+
+    def test_recovery_with_pk_reinsert_cycle(self, tmp_path):
+        """insert → delete → re-insert of one primary key must replay in
+        order: a naive global grouping would see a duplicate key."""
+        db = Database("cycle", wal_dir=str(tmp_path))
+        db.create_table(schema())
+        db.insert("prov", (1, "I", "T/a", None))
+        db.insert("prov", (2, "I", "T/b", None))
+        db.delete_where("prov", Cmp("=", Col("tid"), Const(1)))
+        db.insert("prov", (1, "I", "T/a", "S1/x"))  # same pk, new content
+        before = sorted(row for _rid, row in db.table("prov").scan())
+        db.crash()
+        assert db.table("prov").row_count == 0
+        db.recover()
+        table = db.table("prov")
+        assert sorted(row for _rid, row in table.scan()) == before
+        # indexes were rebuilt consistently: pk lookups see the new row
+        found = table.lookup_pk((1, "T/a"))
+        assert found is not None and found[1][3] == "S1/x"
+
+    def test_recovery_bulk_builds_match_row_at_a_time_state(self, tmp_path):
+        """A recovery made only of inserts coalesces into one bulk load
+        per table; the resulting table must answer index scans exactly
+        like the pre-crash (incrementally maintained) one."""
+        db = Database("bulk", wal_dir=str(tmp_path))
+        db.create_table(
+            TableSchema(
+                "ev",
+                [
+                    Column("k", ColumnType.INT, nullable=False),
+                    Column("v", ColumnType.TEXT),
+                ],
+                primary_key=("k",),
+                indexes=(IndexSpec("ev_k", ("k",), ordered=True),),
+            )
+        )
+        rows = [(k, f"v{k}") for k in range(50)]
+        db.begin()
+        for row in rows[:30]:
+            db.insert("ev", row)
+        db.commit()
+        db.begin()
+        for row in rows[30:]:
+            db.insert("ev", row)
+        db.commit()
+        before_scan = [
+            row for _rid, row in db.table("ev").range_scan("ev_k", (10,), (20,))
+        ]
+        db.crash()
+        assert db.recover() == 2
+        table = db.table("ev")
+        # row ids restart after a crash (heap state is not logged), so
+        # compare the streamed rows, which must match exactly
+        after_scan = [row for _rid, row in table.range_scan("ev_k", (10,), (20,))]
+        assert after_scan == before_scan
+        after_reverse = [
+            row for _rid, row in table.range_scan("ev_k", (10,), (20,), reverse=True)
+        ]
+        assert after_reverse == list(reversed(before_scan))
+        assert sorted(row for _rid, row in table.scan()) == rows
 
 
 class TestCrashPointMatrix:

@@ -127,6 +127,26 @@ class TestTransactionalNetEffect:
         editor.commit()
         assert {record.tid for record in editor.store.records()} == {2}
 
+    def test_overwrite_then_delete_nets_input_death(self):
+        """Overwrite input data, then delete the pasted region in the
+        same transaction: the copy is a temporary (no trace), but the
+        *input* node it displaced must still net a ``D`` — the
+        displaced-death set exists precisely so a later delete can't
+        erase the evidence (regression: a hypothesis-found case where
+        expansion of HT disagreed with the flat store here)."""
+        for method, expected_deletes in (
+            ("T", {"T/n1", "T/n1/c2"}),  # flat: every dead input node
+            ("HT", {"T/n1"}),  # hierarchical: children inferred
+        ):
+            editor = editor_for(
+                method, target={"n1": {"c2": 7}, "a": 0}, source={"z": 1}
+            )
+            editor.copy_paste("T/a", "T/n1/c2")  # overwrites input c2
+            editor.delete("T/n1")  # destroys the temporary copy too
+            editor.commit()
+            got = recs(editor)
+            assert got == {(1, "D", loc, None) for loc in expected_deletes}, method
+
 
 class TestHierarchicalTransactional:
     def test_root_only_records(self):

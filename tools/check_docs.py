@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the markdown docs.
+
+Scans the given markdown files (default: README.md and everything under
+docs/) for inline links, keeps the relative ones (external URLs and
+pure in-page anchors are skipped), strips any ``#fragment``, and checks
+that each target exists relative to the linking file.  Exit status 1
+lists every broken link — the CI docs job runs this so the README and
+docs/ARCHITECTURE.md cannot drift away from the tree they describe.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# inline markdown links: [text](target); images share the syntax
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FILES = ["README.md", *sorted(str(p) for p in (REPO_ROOT / "docs").glob("*.md"))]
+
+
+def broken_links(markdown_path: Path) -> list[str]:
+    out = []
+    text = markdown_path.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (markdown_path.parent / path_part).resolve()
+        if not resolved.exists():
+            try:
+                shown = markdown_path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = markdown_path
+            out.append(f"{shown}: broken link {target!r}")
+    return out
+
+
+def main(argv: list[str]) -> int:
+    files = argv[1:] or DEFAULT_FILES
+    problems: list[str] = []
+    for name in files:
+        path = (REPO_ROOT / name).resolve() if not Path(name).is_absolute() else Path(name)
+        if not path.exists():
+            problems.append(f"missing markdown file: {name}")
+            continue
+        problems.extend(broken_links(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"ok: {len(files)} file(s), no broken intra-repo links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
