@@ -9,7 +9,10 @@ so the perf trajectory has a comparable first data point.
 Workload sizes scale with ``REPRO_SCALE`` (default 10, the CI smoke
 scale); ``REPRO_FULL_SCALE=1`` runs the paper-sized workloads.  Gates
 are set conservatively below the observed speedups so CI noise cannot
-flake them.
+flake them, the A/B gates decide on *median-of-3* timings when the
+first pair lands below the floor, and every floor scales with
+``REPRO_BENCH_FLOOR_SCALE`` (e.g. ``0.75`` on noisy shared runners) so
+one CPU-steal spike can never fail tier-1.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import bisect
 import json
 import os
 import random
+import statistics
 import time
 from pathlib import Path as FsPath
 
@@ -29,7 +33,7 @@ from repro.core.tree import Tree
 from repro.datalog.ast import Atom, Literal, Rule, Var
 from repro.datalog.engine import Program
 from repro.storage.expr import And, Cmp, Col, Const
-from repro.storage.index import OrderedIndex
+from repro.storage.index import MAX_KEY, OrderedIndex
 from repro.storage.query import Query, TableRef, plan_query
 from repro.storage.schema import Column, IndexSpec, TableSchema
 from repro.storage.table import Table
@@ -47,6 +51,17 @@ def _scale() -> int:
 
 SCALE = _scale()
 
+#: every speedup floor is multiplied by this before asserting — the CI
+#: escape hatch for noisy shared runners (REPRO_BENCH_FLOOR_SCALE=0.75
+#: keeps the gates meaningful while tolerating steal-heavy machines)
+FLOOR_SCALE = float(os.environ.get("REPRO_BENCH_FLOOR_SCALE", "1.0"))
+
+
+def gate(floor: float) -> float:
+    """The effective (scaled) speedup floor asserted by a benchmark."""
+    return floor * FLOOR_SCALE
+
+
 _RESULTS: dict = {}
 
 
@@ -61,6 +76,17 @@ def _emit_results():
         "scale": SCALE,
         "results": _RESULTS,
     }
+    # preserve out-of-band sections other tools merged into the file
+    # (e.g. tools/sweep_bulk_crossover.py's "bulk_insert_crossover")
+    try:
+        with open(out, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        existing = {}
+    if isinstance(existing, dict):
+        for key, value in existing.items():
+            if key not in payload:
+                payload[key] = value
     with open(out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -83,10 +109,11 @@ def record(name: str, seed_s: float, new_s: float, floor: float, **params) -> fl
         "new_s": round(new_s, 6),
         "speedup": round(speedup, 2),
         "gate": floor,
+        "floor_scale": FLOOR_SCALE,
         "params": params,
     }
     print(f"\n[micro] {name}: seed={seed_s * 1e3:.1f}ms new={new_s * 1e3:.1f}ms "
-          f"speedup={speedup:.1f}x (gate >= {floor}x)")
+          f"speedup={speedup:.1f}x (gate >= {gate(floor)}x)")
     return speedup
 
 
@@ -145,24 +172,29 @@ def make_keys(n: int, seed: int = 7):
 # ----------------------------------------------------------------------
 
 
-def gated_ab(seed_fn, new_fn, floor: float, attempts: int = 2):
-    """Time ``seed_fn`` vs ``new_fn``; on a below-gate ratio, re-measure
-    (a wall-clock gate on a shared CI runner must not flake on one GC
-    pause or CPU-steal spike — a genuine regression fails every
-    attempt).  Returns the best ``(seed_s, new_s)`` pair by ratio."""
-    best = None
-    for _ in range(attempts):
+def gated_ab(seed_fn, new_fn, floor: float, rounds: int = 3):
+    """Median-of-3 A/B timing for gated benchmarks.
+
+    The first seed/new pair is accepted outright when it already clears
+    the (scaled) floor — the common case stays cheap.  Otherwise two
+    more alternating pairs are timed and the per-side *medians* decide:
+    a single GC pause or CPU-steal spike on a shared CI runner shifts
+    one sample, never the verdict, while a genuine regression drags the
+    median down in every round.  (This replaced a best-of-two retry
+    gate that still flaked when one noisy measurement was all it got.)
+    Returns ``(median seed_s, median new_s)``.
+    """
+    seeds, news = [], []
+    for round_no in range(rounds):
         start = time.perf_counter()
         seed_fn()
-        seed_s = time.perf_counter() - start
+        seeds.append(time.perf_counter() - start)
         start = time.perf_counter()
         new_fn()
-        new_s = time.perf_counter() - start
-        if best is None or seed_s / new_s > best[0] / best[1]:
-            best = (seed_s, new_s)
-        if best[0] / best[1] >= floor:
+        news.append(time.perf_counter() - start)
+        if round_no == 0 and news[0] > 0 and seeds[0] / news[0] >= gate(floor):
             break
-    return best
+    return statistics.median(seeds), statistics.median(news)
 
 
 def test_ordered_index_build():
@@ -198,14 +230,19 @@ def test_ordered_index_build():
 
     seed_s, new_s = gated_ab(build_seed, build_new, 5.0)
     speedup = record("ordered_index_build", seed_s, new_s, 5.0, n=n)
-    assert speedup >= 5.0
+    assert speedup >= gate(5.0)
 
 
 def test_prefix_scan_live_index():
     """Prefix scans against an index under churn (the editor workload:
     every transaction writes provenance records, Mod queries interleave).
     The flat list pays O(n) maintenance between scans; the blocked index
-    keeps scans streaming over a structure that is cheap to keep sorted."""
+    keeps scans streaming over a structure that is cheap to keep sorted.
+
+    Floor 3.5: clean-machine runs measure ~4.9–6x here, and the old 5.0
+    floor sat *inside* that band — it failed an otherwise green tier-1
+    run on one noisy sample, which is what prompted the median-of-3
+    gate + floor-scale rework."""
     n = 24_000 * SCALE
     keys = make_keys(n)
     rng = random.Random(23)
@@ -221,10 +258,10 @@ def test_prefix_scan_live_index():
                     consumed += 1
         consumed_totals.append(consumed)
 
-    seed_s, new_s = gated_ab(lambda: run(SeedOrderedIndex()), lambda: run(OrderedIndex("bench")), 5.0)
+    seed_s, new_s = gated_ab(lambda: run(SeedOrderedIndex()), lambda: run(OrderedIndex("bench")), 3.5)
     assert len(set(consumed_totals)) == 1  # both sides saw identical scans
-    speedup = record("prefix_scan_live", seed_s, new_s, 5.0, n=n, scan_every=100)
-    assert speedup >= 5.0
+    speedup = record("prefix_scan_live", seed_s, new_s, 3.5, n=n, scan_every=100)
+    assert speedup >= gate(3.5)
 
 
 def test_table_scan_sort_free():
@@ -254,10 +291,9 @@ def test_table_scan_sort_free():
         return total
 
     assert seed_scan() == new_scan()
-    speedup = record(
-        "table_scan", timed(seed_scan), timed(new_scan), 1.2, n=n, scans=scans
-    )
-    assert speedup >= 1.2
+    seed_s, new_s = gated_ab(seed_scan, new_scan, 1.2)
+    speedup = record("table_scan", seed_s, new_s, 1.2, n=n, scans=scans)
+    assert speedup >= gate(1.2)
 
 
 def test_path_parse_interning():
@@ -285,15 +321,16 @@ def test_path_parse_interning():
     # behavior-preserving identity: same text -> same object
     assert Path.parse(texts[0]) is Path.parse(texts[0])
     assert Path.parse(texts[0]) == seed_parse_path(texts[0])
+    seed_s, new_s = gated_ab(seed_parse, new_parse, 3.0)
     speedup = record(
         "path_parse_interned",
-        timed(seed_parse),
-        timed(new_parse),
+        seed_s,
+        new_s,
         3.0,
         distinct=distinct,
         repeats=repeats,
     )
-    assert speedup >= 3.0
+    assert speedup >= gate(3.0)
 
 
 def test_records_under_read_path():
@@ -323,6 +360,88 @@ def test_records_under_read_path():
     }
     print(f"\n[micro] records_under: {elapsed * 1e3:.1f}ms "
           f"({queries} queries over {n} rows)")
+
+
+def test_prov_batched_locs():
+    """Batched location probes: ``records_at_locs`` answers N probed
+    locations with *one* multi-range pass over the ``(loc, tid)`` index
+    (counter-asserted) vs the seed path — one full range-scan setup plus
+    two fresh bisections per location (the loop this PR removed from
+    ``records_at_locs``).  Probes are batched per subtree, as the real
+    callers batch them (stored procedures probe a subtree's members,
+    ``_fetch_for`` probes ancestor chains), so the probed locations form
+    adjacent runs in the index and the batched sweep's cursor replaces
+    most bisections with one comparison.  The store always *charged*
+    one round trip for the batch; this closes the wall-time side of
+    that charged-cost/wall-time split."""
+    n = 3_000 * SCALE
+    probes = 150 * SCALE
+    repeats = 8
+    rng = random.Random(31)
+    prov = ProvTable()
+    records = [
+        ProvRecord(tid=i + 1, op="I", loc=Path.parse(make_loc(rng, i)))
+        for i in range(n)
+    ]
+    prov.write_batch(records, category="bench")
+    # probe whole subtrees: every live loc under a sampled parent node
+    by_parent: dict = {}
+    for prov_record in records:
+        text = str(prov_record.loc)
+        by_parent.setdefault(text.rsplit("/", 1)[0], []).append(text)
+    locs: list = []
+    for parent in rng.sample(sorted(by_parent), len(by_parent)):
+        if len(locs) >= probes:
+            break
+        locs.extend(sorted(by_parent[parent]))
+    locs = locs[:probes]
+    index_name = f"{prov.table_name}_loc"
+    table = prov._table
+
+    def serial():
+        # the seed records_at_locs, verbatim: one range scan per
+        # location, each materialized by _loc_rows into its own list
+        rows = []
+        for text in locs:
+            rows.extend(
+                [
+                    row
+                    for _rid, row in table.range_scan(
+                        index_name, low=(text,), high=(text, MAX_KEY)
+                    )
+                ]
+            )
+        return rows
+
+    def batched():  # the records_at_locs path: one sort-free union pass
+        ranges = [((text,), (text, MAX_KEY), True, True) for text in sorted(locs)]
+        return [
+            row
+            for _rid, row in table.multi_range_scan(
+                index_name, ranges, presorted=True
+            )
+        ]
+
+    assert sorted(serial()) == sorted(batched())  # identical row sets
+    before = dict(table.access_counts)
+    result = prov.records_at_locs([Path.parse(text) for text in locs], category="bench")
+    assert len(result) == probes
+    assert table.access_counts["multi_range_scan"] == before["multi_range_scan"] + 1
+    assert table.access_counts["range_scan"] == before["range_scan"]  # one pass, not N
+
+    def run_serial():
+        for _ in range(repeats):
+            serial()
+
+    def run_batched():
+        for _ in range(repeats):
+            batched()
+
+    seed_s, new_s = gated_ab(run_serial, run_batched, 2.0)
+    speedup = record(
+        "prov_batched_locs", seed_s, new_s, 2.0, rows=n, locs=probes, repeats=repeats
+    )
+    assert speedup >= gate(2.0)
 
 
 def test_planner_range_scan():
@@ -381,7 +500,7 @@ def test_planner_range_scan():
         queries=query_count,
         span=span,
     )
-    assert speedup >= 3.0
+    assert speedup >= gate(3.0)
 
 
 def test_bulk_index_build():
@@ -414,7 +533,7 @@ def test_bulk_index_build():
 
     seed_s, new_s = gated_ab(build_incremental, build_bulk, 2.0)
     speedup = record("bulk_index_build", seed_s, new_s, 2.0, n=n)
-    assert speedup >= 2.0
+    assert speedup >= gate(2.0)
 
 
 def make_xml_store(molecules: int) -> XMLDatabase:
@@ -463,7 +582,7 @@ def test_xml_indexed_lookup():
         nodes=db.node_count(),
         queries=len(expressions),
     )
-    assert speedup >= 2.0
+    assert speedup >= gate(2.0)
 
 
 def test_datalog_incremental_eval():
@@ -510,7 +629,7 @@ def test_datalog_incremental_eval():
     speedup = record(
         "datalog_incremental_eval", seed_s, new_s, 2.0, edges=n, rounds=rounds
     )
-    assert speedup >= 2.0
+    assert speedup >= gate(2.0)
 
 
 def test_datalog_indexed_join():
@@ -534,11 +653,6 @@ def test_datalog_indexed_join():
         return program.query("path")
 
     assert solve(False) == solve(True)  # identical models
-    speedup = record(
-        "datalog_indexed_join",
-        timed(lambda: solve(False), repeats=1),
-        timed(lambda: solve(True), repeats=1),
-        5.0,
-        edges=n,
-    )
-    assert speedup >= 5.0
+    seed_s, new_s = gated_ab(lambda: solve(False), lambda: solve(True), 5.0)
+    speedup = record("datalog_indexed_join", seed_s, new_s, 5.0, edges=n)
+    assert speedup >= gate(5.0)

@@ -80,6 +80,11 @@ class StoreClient:
         return rows
 
     def delete_where(self, table: str, predicate: Optional[Expr] = None) -> int:
+        """One round trip; victims are enumerated server-side through
+        the planner's access paths (:meth:`Database.delete_where`), so
+        an indexable predicate no longer full-scans — the *charged*
+        round-trip cost is unchanged, only the wall-time side of the
+        charged-cost/wall-time split shrinks."""
         affected = self.db.delete_where(table, predicate)
         self._charge("delete", affected)
         return affected
@@ -87,6 +92,8 @@ class StoreClient:
     def update_where(
         self, table: str, changes: Dict[str, Any], predicate: Optional[Expr] = None
     ) -> int:
+        """One round trip; planner-routed victim enumeration, same as
+        :meth:`delete_where`."""
         affected = self.db.update_where(table, changes, predicate)
         self._charge("update", affected)
         return affected

@@ -18,8 +18,8 @@ from .errors import (
     UnknownTableError,
 )
 from .expr import Expr
-from .plan import PlanNode
-from .query import Query, plan_query
+from .plan import PlanNode, TableScanNode
+from .query import Query, plan_mutation, plan_query
 from .schema import Column, IndexSpec, TableSchema
 from .table import Table
 from .wal import (
@@ -131,12 +131,7 @@ class Database:
             if entry.kind == "insert":
                 table.delete_row(entry.rowid)
             else:  # undo a delete by re-inserting the old row
-                saved = table._next_rowid
-                table._next_rowid = entry.rowid
-                try:
-                    table.insert(entry.row)
-                finally:
-                    table._next_rowid = max(saved, entry.rowid + 1)
+                self._reinsert_at(table, entry.rowid, entry.row)
         if self._wal is not None:
             self._wal.append(WalRecord(KIND_ABORT, self._active_txn))
         self._active_txn = None
@@ -204,38 +199,103 @@ class Database:
         table = self.table(table_name)
         return table.bulk_insert(rows)
 
-    def delete_where(self, table_name: str, predicate: Optional[Expr] = None) -> int:
-        """Delete matching rows; returns the count."""
+    def _select_victims(
+        self, table: Table, predicate: Optional[Expr], naive: bool
+    ) -> List[int]:
+        """Enumerate the row ids matching a DML predicate through the
+        planner's access paths (``naive=True`` forces the full-scan
+        oracle).  Materialized before any mutation so index scans never
+        observe their own statement's writes."""
+        node, residual = plan_mutation(table, predicate, naive=naive)
+        if residual is None:
+            return [rowid for rowid, _row in node.rows()]
+        as_dict = table.schema.row_as_dict
+        return [
+            rowid for rowid, row in node.rows() if residual.eval(as_dict(row))
+        ]
+
+    def _reinsert_at(self, table: Table, rowid: int, row: Tuple[Any, ...]) -> None:
+        """Re-insert ``row`` under its original ``rowid`` (undo of a
+        delete)."""
+        saved = table._next_rowid
+        table._next_rowid = rowid
+        try:
+            table.insert(row)
+        finally:
+            table._next_rowid = max(saved, rowid + 1)
+
+    def delete_where(
+        self, table_name: str, predicate: Optional[Expr] = None, *, naive: bool = False
+    ) -> int:
+        """Delete matching rows; returns the count.
+
+        Victims are enumerated through the planner
+        (:func:`~repro.storage.query.plan_mutation`): an indexable
+        predicate probes the same access paths a SELECT with this WHERE
+        clause would — IN lists ride the multi-range union — instead of
+        paying a raw full scan.  ``naive=True`` forces the full-scan
+        oracle (the differential DML tests).  The statement is atomic:
+        a mid-batch failure reverts the rows it already deleted and
+        appends nothing to the undo log or WAL.
+        """
         table = self.table(table_name)
+        doomed = self._select_victims(table, predicate, naive)
         implicit = self._autocommit()
-        doomed: List[int] = []
-        for rowid, row in table.scan():
-            env = table.schema.row_as_dict(row)
-            if predicate is None or predicate.eval(env):
-                doomed.append(rowid)
-        for rowid in doomed:
-            row = table.get(rowid)
-            table.delete_row(rowid)
+        removed: List[Tuple[int, Tuple[Any, ...]]] = []
+        try:
+            for rowid in doomed:
+                removed.append((rowid, table.delete_row(rowid)))
+        except Exception:
+            for rowid, row in reversed(removed):
+                self._reinsert_at(table, rowid, row)
+            if implicit:
+                self.rollback()
+            raise
+        for rowid, row in removed:
             self._undo.append(_UndoEntry("delete", table_name, rowid, row))
             if self._wal is not None:
                 self._wal.append(WalRecord(KIND_DELETE, self._active_txn, table_name, row))
         if implicit:
             self.commit()
-        return len(doomed)
+        return len(removed)
 
     def update_where(
-        self, table_name: str, changes: Dict[str, Any], predicate: Optional[Expr] = None
+        self,
+        table_name: str,
+        changes: Dict[str, Any],
+        predicate: Optional[Expr] = None,
+        *,
+        naive: bool = False,
     ) -> int:
-        """Update matching rows (modeled as delete+insert in the WAL)."""
+        """Update matching rows (modeled as delete+insert in the WAL).
+
+        Victim enumeration is planner-routed exactly like
+        :meth:`delete_where`.  The statement is atomic: undo and WAL
+        records are buffered until every victim has been updated, so a
+        constraint violation on the Nth victim reverts victims 1..N-1
+        in place (reverse order) and leaves the transaction — and, for
+        implicit transactions, the table — exactly as before the call;
+        nothing of the failed statement reaches the WAL.
+        """
         table = self.table(table_name)
+        victims = self._select_victims(table, predicate, naive)
         implicit = self._autocommit()
-        victims: List[int] = []
-        for rowid, row in table.scan():
-            env = table.schema.row_as_dict(row)
-            if predicate is None or predicate.eval(env):
-                victims.append(rowid)
-        for rowid in victims:
-            old, new = table.update_row(rowid, changes)
+        applied: List[Tuple[int, Tuple[Any, ...], Tuple[Any, ...]]] = []
+        try:
+            for rowid in victims:
+                old, new = table.update_row(rowid, changes)
+                applied.append((rowid, old, new))
+        except Exception:
+            # Reverting in reverse order cannot itself conflict: the
+            # statement sets every victim to the same values, so the
+            # old rows being restored were distinct before the call.
+            names = table.schema.column_names
+            for rowid, old, _new in reversed(applied):
+                table.update_row(rowid, dict(zip(names, old)))
+            if implicit:
+                self.rollback()
+            raise
+        for rowid, old, new in applied:
             self._undo.append(_UndoEntry("delete", table_name, rowid, old))
             self._undo.append(_UndoEntry("insert", table_name, rowid, new))
             if self._wal is not None:
@@ -243,7 +303,7 @@ class Database:
                 self._wal.append(WalRecord(KIND_INSERT, self._active_txn, table_name, new))
         if implicit:
             self.commit()
-        return len(victims)
+        return len(applied)
 
     # ------------------------------------------------------------------
     # Queries
@@ -252,6 +312,15 @@ class Database:
         """The physical plan for ``query``; ``naive=True`` forces the
         rule-free SeqScan+Sort oracle plan (differential testing)."""
         return plan_query(self.tables, query, naive=naive)
+
+    def plan_mutation(
+        self, table_name: str, predicate: Optional[Expr] = None, *, naive: bool = False
+    ) -> "Tuple[TableScanNode, Optional[Expr]]":
+        """The access path + residual filter ``delete_where`` /
+        ``update_where`` would use for ``predicate`` — EXPLAIN-style
+        inspection for planned DML (see
+        :func:`~repro.storage.query.plan_mutation`)."""
+        return plan_mutation(self.table(table_name), predicate, naive=naive)
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
         return list(self.plan(query).execute())

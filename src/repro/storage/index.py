@@ -22,10 +22,17 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .errors import DuplicateKeyError
 
-__all__ = ["HashIndex", "OrderedIndex", "MIN_KEY", "MAX_KEY"]
+__all__ = ["HashIndex", "OrderedIndex", "MIN_KEY", "MAX_KEY", "KeyRange"]
 
 Key = Tuple[Any, ...]
 Entry = Tuple[Key, int]
+
+#: ``(low, high, include_low, include_high)`` — one range over an
+#: ordered index's key space, with the same semantics as
+#: :meth:`OrderedIndex.range`.  The unit :meth:`OrderedIndex.multi_range`
+#: (and everything above it, up to the planner's ``IndexMultiRangeScan``)
+#: unions over.
+KeyRange = Tuple[Optional[Key], Optional[Key], bool, bool]
 
 _ENTRY_KEY = itemgetter(0)
 _ENTRY_ROWID = itemgetter(1)
@@ -103,6 +110,11 @@ class HashIndex:
     def contains(self, key: Key) -> bool:
         return key in self._buckets
 
+    def key_count(self) -> int:
+        """The number of distinct keys (exact, O(1)) — the planner's
+        selectivity statistic for equality probes."""
+        return len(self._buckets)
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
 
@@ -154,6 +166,16 @@ _MAX = _Extreme(False)
 MIN_KEY = _MIN
 MAX_KEY = _MAX
 
+def _range_start_key(key_range: KeyRange) -> Tuple[int, Any, bool]:
+    """Sort key ordering ranges by low bound (open bounds first; for
+    equal bounds, inclusive before exclusive) — matches start-position
+    order, which the multi-range sweep requires."""
+    low, _high, include_low, _include_high = key_range
+    if low is None:
+        return (0, (), False)
+    return (1, low, not include_low)
+
+
 #: Split threshold: a block holding more than ``2 * _LOAD`` entries is
 #: halved.  1024 keeps per-block memmoves small (a few KB of pointers)
 #: while the maxima array stays short (n / 1024 blocks).
@@ -189,6 +211,7 @@ class OrderedIndex:
         self._blocks: List[List[Entry]] = []
         self._maxes: List[Entry] = []
         self._len = 0
+        self._key_count_cache: Optional[Tuple[int, int]] = None
 
     @classmethod
     def bulk_build(
@@ -354,6 +377,7 @@ class OrderedIndex:
         self._blocks.clear()
         self._maxes.clear()
         self._len = 0
+        self._key_count_cache = None
 
     # ------------------------------------------------------------------
     # Lookups
@@ -428,6 +452,169 @@ class OrderedIndex:
                 elif key <= low:
                     break
             yield rowid
+
+    def multi_range(
+        self,
+        ranges: Iterable[KeyRange],
+        reverse: bool = False,
+        presorted: bool = False,
+    ) -> Iterator[int]:
+        """Row ids in the *union* of several key ranges, in one pass.
+
+        Each range is a ``(low, high, include_low, include_high)`` tuple
+        with :meth:`range` semantics.  The union is sorted and
+        de-duplicated: entries stream in global ``(key, rowid)`` order
+        (descending with ``reverse``) and each appears exactly once even
+        when ranges overlap or repeat.  This is the access path behind
+        the planner's ``IndexMultiRangeScan`` (``IN`` lists,
+        OR-of-ranges) and the provenance store's batched location
+        probes.
+
+        The pass is a monotone sweep: ranges are sorted by their low
+        bound, and a cursor marks the first entry not yet emitted.
+        Each range's start is bisected *from the cursor onward* — never
+        from the front of the index — so N probes cost one pass with N
+        narrowing bisections instead of N full scan setups.  A range
+        starting inside the swept region is clamped to the cursor:
+        everything before it was already emitted by an earlier,
+        overlapping range (each range emits a contiguous run, so the
+        swept region has no holes).
+
+        ``presorted=True`` promises the ranges are already in
+        :func:`_range_start_key` order (ascending low bound, inclusive
+        before exclusive on ties) and skips the sort — the batched
+        provenance probes build their ranges from sorted location text,
+        so the whole pass runs sort-free.  Ignored with ``reverse``.
+        """
+        if reverse:
+            yield from self._multi_range_back(ranges)
+            return
+        ordered = list(ranges)
+        if not presorted:
+            # mutually incomparable low bounds raise TypeError here, the
+            # same way a single foreign-family bound raises inside
+            # :meth:`range` — the planner's _bound_safe guard keeps such
+            # probes out of index plans entirely
+            ordered.sort(key=_range_start_key)
+        blocks = self._blocks
+        maxes = self._maxes
+        block_count = len(blocks)
+        resume_block = resume_slot = 0
+        for low, high, include_low, include_high in ordered:
+            if resume_block >= block_count:
+                break  # swept past the end: every later range is empty
+            if low is None:
+                block_pos, slot = resume_block, resume_slot
+            else:
+                # cursor fast path: when the sweep cursor already sits
+                # at/past this range's start — adjacent or overlapping
+                # probes, e.g. an ancestor chain's consecutive index
+                # entries — the clamp needs one comparison, no bisect
+                cursor = blocks[resume_block][resume_slot]
+                if include_low:
+                    probe = (low, _MIN)
+                    if cursor >= probe:
+                        block_pos, slot = resume_block, resume_slot
+                    else:
+                        # bisecting with lo= the cursor both narrows the
+                        # search and clamps starts inside the swept region
+                        block_pos = bisect_left(maxes, probe, resume_block)
+                        if block_pos < block_count:
+                            lo = resume_slot if block_pos == resume_block else 0
+                            slot = bisect_left(blocks[block_pos], probe, lo)
+                        else:
+                            slot = 0
+                else:
+                    probe = (low, _MAX)
+                    if cursor > probe:
+                        block_pos, slot = resume_block, resume_slot
+                    else:
+                        block_pos = bisect_right(maxes, probe, resume_block)
+                        if block_pos < block_count:
+                            lo = resume_slot if block_pos == resume_block else 0
+                            slot = bisect_right(blocks[block_pos], probe, lo)
+                        else:
+                            slot = 0
+            stopped = False
+            while block_pos < block_count and not stopped:
+                block = blocks[block_pos]
+                block_len = len(block)
+                while slot < block_len:
+                    key, rowid = block[slot]
+                    if high is not None and (
+                        key > high if include_high else key >= high
+                    ):
+                        stopped = True
+                        break
+                    yield rowid
+                    slot += 1
+                if not stopped:
+                    block_pos += 1
+                    slot = 0
+            if stopped:
+                resume_block, resume_slot = block_pos, slot
+            else:
+                resume_block, resume_slot = block_count, 0
+
+    def _multi_range_back(self, ranges: Iterable[KeyRange]) -> Iterator[int]:
+        """Descending mirror of :meth:`multi_range`: positions are
+        exclusive upper bounds (as in :meth:`_iter_back`) and the sweep
+        cursor moves downward."""
+        blocks = self._blocks
+        if not blocks:
+            return
+        starts: List[Tuple[Tuple[int, int], Optional[Key], bool]] = []
+        for low, high, include_low, include_high in ranges:
+            if high is None:
+                position = (len(blocks), 0)
+            elif include_high:
+                position = self._find_right((high, _MAX))
+            else:
+                position = self._find_left((high, _MIN))
+            starts.append((position, low, include_low))
+        starts.sort(key=_ENTRY_KEY, reverse=True)
+        resume = (len(blocks), 0)
+        for position, low, include_low in starts:
+            block_pos, slot = min(position, resume)
+            while True:
+                if slot == 0:
+                    block_pos -= 1
+                    if block_pos < 0:
+                        resume = (0, 0)
+                        break
+                    slot = len(blocks[block_pos])
+                slot -= 1
+                key, rowid = blocks[block_pos][slot]
+                if low is not None and (key < low if include_low else key <= low):
+                    resume = (block_pos, slot + 1)
+                    break
+                yield rowid
+
+    def key_count(self) -> int:
+        """Estimated number of distinct keys.
+
+        Exact distinct counts are not maintained — that would put an
+        extra bisection on the insert hot path — so the distinct ratio
+        of a bounded sample (the first and last blocks, up to 256
+        entries each) is extrapolated over the entry count.  Entries
+        are sorted, so duplicates are adjacent and a contiguous sample
+        estimates the local duplication factor well.  Unique indexes
+        answer exactly.  The estimate is cached until the entry count
+        changes, so repeated planning over a read-mostly index samples
+        once.  This is a planner statistic: it only has to *rank*
+        access-path candidates, not be right.
+        """
+        if self.unique or self._len == 0:
+            return self._len
+        cached = self._key_count_cache
+        if cached is not None and cached[0] == self._len:
+            return cached[1]
+        sample: List[Entry] = self._blocks[0][:256]
+        if len(self._blocks) > 1:
+            sample = sample + self._blocks[-1][-256:]
+        estimate = max(1, round(self._len * len({key for key, _rowid in sample}) / len(sample)))
+        self._key_count_cache = (self._len, estimate)
+        return estimate
 
     def prefix_scan(self, prefix: str) -> Iterator[int]:
         """Row ids whose *first* key component is a string with ``prefix``.

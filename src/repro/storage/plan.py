@@ -11,14 +11,17 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .expr import Col, Expr
+from .index import KeyRange
 from .table import Table
 
 __all__ = [
     "PlanNode",
+    "TableScanNode",
     "SeqScan",
     "IndexEqScan",
     "IndexPrefixScan",
     "IndexRangeScan",
+    "IndexMultiRangeScan",
     "FilterNode",
     "ProjectNode",
     "HashJoinNode",
@@ -55,51 +58,78 @@ class PlanNode:
         return ()
 
 
+class TableScanNode(PlanNode):
+    """Base of every table access path.
+
+    Subclasses implement :meth:`rows` — ``(rowid, row)`` pairs straight
+    off the table — and inherit :meth:`execute`.  Keeping the row-id
+    stream public lets DML (``Database.delete_where`` /
+    ``update_where``) enumerate victims through the same planned access
+    paths a SELECT would use instead of a raw heap scan.
+    """
+
+    table: Table
+    alias: Optional[str]
+
+    def rows(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        raise NotImplementedError
+
+    def execute(self) -> Iterator[Env]:
+        table, alias = self.table, self.alias
+        for _rowid, row in self.rows():
+            yield _env_from_row(table, row, alias)
+
+
 @dataclass
-class SeqScan(PlanNode):
+class SeqScan(TableScanNode):
     table: Table
     alias: Optional[str] = None
 
-    def execute(self) -> Iterator[Env]:
-        for _rowid, row in self.table.scan():
-            yield _env_from_row(self.table, row, self.alias)
+    def rows(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        return self.table.scan()
 
     def describe(self) -> str:
         return f"SeqScan({self.table.schema.name})"
 
 
 @dataclass
-class IndexEqScan(PlanNode):
+class IndexEqScan(TableScanNode):
     table: Table
     index_name: str
     key: Tuple[Any, ...]
     alias: Optional[str] = None
 
-    def execute(self) -> Iterator[Env]:
-        for _rowid, row in self.table.lookup_index(self.index_name, self.key):
-            yield _env_from_row(self.table, row, self.alias)
+    def rows(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        return self.table.lookup_index(self.index_name, self.key)
 
     def describe(self) -> str:
         return f"IndexEqScan({self.table.schema.name}.{self.index_name} = {self.key!r})"
 
 
 @dataclass
-class IndexPrefixScan(PlanNode):
+class IndexPrefixScan(TableScanNode):
     table: Table
     index_name: str
     prefix: str
     alias: Optional[str] = None
 
-    def execute(self) -> Iterator[Env]:
-        for _rowid, row in self.table.prefix_scan(self.index_name, self.prefix):
-            yield _env_from_row(self.table, row, self.alias)
+    def rows(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        return self.table.prefix_scan(self.index_name, self.prefix)
 
     def describe(self) -> str:
         return f"IndexPrefixScan({self.table.schema.name}.{self.index_name} ~ {self.prefix!r}%)"
 
 
+def _bracketed(
+    low: Any, high: Any, include_low: bool, include_high: bool
+) -> str:
+    low_bracket = "[" if include_low else "("
+    high_bracket = "]" if include_high else ")"
+    return f"{low_bracket}{low!r}, {high!r}{high_bracket}"
+
+
 @dataclass
-class IndexRangeScan(PlanNode):
+class IndexRangeScan(TableScanNode):
     """Streaming scan of an ordered index restricted to ``[low, high]``.
 
     Rows arrive in index-key order (descending with ``reverse``), so a
@@ -118,8 +148,8 @@ class IndexRangeScan(PlanNode):
     alias: Optional[str] = None
     reverse: bool = False
 
-    def execute(self) -> Iterator[Env]:
-        rows = self.table.range_scan(
+    def rows(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        return self.table.range_scan(
             self.index_name,
             self.low,
             self.high,
@@ -127,16 +157,53 @@ class IndexRangeScan(PlanNode):
             self.include_high,
             self.reverse,
         )
-        for _rowid, row in rows:
-            yield _env_from_row(self.table, row, self.alias)
 
     def describe(self) -> str:
-        low_bracket = "[" if self.include_low else "("
-        high_bracket = "]" if self.include_high else ")"
         direction = " desc" if self.reverse else ""
         return (
             f"IndexRangeScan({self.table.schema.name}.{self.index_name} in "
-            f"{low_bracket}{self.low!r}, {self.high!r}{high_bracket}{direction})"
+            f"{_bracketed(self.low, self.high, self.include_low, self.include_high)}"
+            f"{direction})"
+        )
+
+
+@dataclass
+class IndexMultiRangeScan(TableScanNode):
+    """Sorted, de-duplicated union of several ranges over one ordered
+    index — the disjunction access path.
+
+    The planner normalizes ``col IN (...)`` and OR-of-sargable-conjuncts
+    into a list of ``(low, high, include_low, include_high)`` key ranges
+    over a single index; :meth:`Table.multi_range_scan` streams their
+    union in one pass, in global ``(key, rowid)`` order (descending with
+    ``reverse``), each row exactly once even when ranges overlap.
+    Because the union preserves index-key order, an ORDER BY on the
+    index key needs no sort — same as a single range scan.
+
+    ``presorted`` promises ``ranges`` is already in the union sweep's
+    canonical order (``repro.storage.index._range_start_key``); the
+    planner sorts once at plan time and sets it so each execution skips
+    the re-sort.  Hand-built nodes should leave it False.
+    """
+
+    table: Table
+    index_name: str
+    ranges: List[KeyRange] = field(default_factory=list)
+    alias: Optional[str] = None
+    reverse: bool = False
+    presorted: bool = False
+
+    def rows(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        return self.table.multi_range_scan(
+            self.index_name, self.ranges, self.reverse, self.presorted
+        )
+
+    def describe(self) -> str:
+        direction = " desc" if self.reverse else ""
+        rendered = " ∪ ".join(_bracketed(*key_range) for key_range in self.ranges)
+        return (
+            f"IndexMultiRangeScan({self.table.schema.name}.{self.index_name} in "
+            f"{rendered}{direction})"
         )
 
 

@@ -1,6 +1,6 @@
-"""Logical queries and a rule-based planner choosing index access paths.
+"""Logical queries and a cost-based planner choosing index access paths.
 
-The planner applies four rules, in order, to each table access:
+The planner enumerates *candidate* access paths for each table access:
 
 1. an equality conjunct covering an index's columns → ``IndexEqScan``;
 2. a ``PrefixMatch`` conjunct on the first column of an *ordered* index
@@ -10,8 +10,16 @@ The planner applies four rules, in order, to each table access:
    index → ``IndexRangeScan``; an ordered index whose key order matches
    the requested ORDER BY is also eligible with open bounds, so ``ORDER
    BY k LIMIT n`` can stream;
-4. otherwise → ``SeqScan``.
+4. a ``col IN (...)`` conjunct, or a top-level OR whose every disjunct
+   is a sargable conjunction over one column, → ``IndexMultiRangeScan``
+   (a sorted, de-duplicated union of per-disjunct ranges over one
+   ordered index);
+5. always: a ``SeqScan``.
 
+and picks the cheapest under a small cost model (see *Cost model*
+below) instead of the old static eq > prefix > range priority — so a
+composite ordered index that also satisfies the ORDER BY can beat a
+fully-equality-covered hash index whose output would still need a sort.
 Residual conjuncts stay in a ``FilterNode`` above the access path.
 
 *Interesting orders*: when the chosen access path already yields rows in
@@ -21,22 +29,41 @@ scanned in reverse for DESC — the trailing ``SortNode`` is elided and
 ``LimitNode`` streams.  ``plan_query(..., naive=True)`` disables every
 rule (forced ``SeqScan`` + ``FilterNode`` + ``SortNode``), which is the
 oracle side of the differential plan-equivalence tests.
+
+DML shares the machinery: :func:`plan_mutation` compiles a
+``delete_where``/``update_where`` predicate into the same access-path
+candidates (every access node exposes a ``rows()`` stream of ``(rowid,
+row)`` pairs), so victim enumeration probes indexes instead of paying a
+full scan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import log2
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .errors import UnknownTableError
-from .expr import And, Cmp, Col, Const, Expr, PrefixMatch, column_bound, conjuncts
-from .index import MAX_KEY
+from .expr import (
+    And,
+    Cmp,
+    Col,
+    Const,
+    Expr,
+    InList,
+    Or,
+    PrefixMatch,
+    column_bound,
+    conjuncts,
+)
+from .index import MAX_KEY, KeyRange, _range_start_key
 from .plan import (
     AggregateNode,
     DistinctNode,
     FilterNode,
     HashJoinNode,
     IndexEqScan,
+    IndexMultiRangeScan,
     IndexPrefixScan,
     IndexRangeScan,
     LimitNode,
@@ -44,11 +71,12 @@ from .plan import (
     ProjectNode,
     SeqScan,
     SortNode,
+    TableScanNode,
 )
-from .table import Table
+from .table import IndexStats, Table
 from .types import ColumnType
 
-__all__ = ["TableRef", "JoinSpec", "Query", "plan_query"]
+__all__ = ["TableRef", "JoinSpec", "Query", "plan_query", "plan_mutation"]
 
 
 @dataclass(frozen=True)
@@ -92,17 +120,22 @@ class Query:
 
 
 def _split_predicate_for(
-    binding: str, table: Table, predicate: Optional[Expr]
+    binding: str, table: Table, predicate: Optional[Expr], qualified: bool = True
 ) -> Tuple[List[Expr], Optional[Expr]]:
     """Partition conjuncts into those referencing only ``binding``'s
-    columns (pushable) and the residual predicate."""
+    columns (pushable) and the residual predicate.
+
+    ``qualified=False`` recognizes only bare column names — the DML
+    paths evaluate residuals against unqualified row dicts, so a
+    ``binding.column`` reference must stay residual (and raise on
+    evaluation) exactly as it would without any planner."""
     if predicate is None:
         return [], None
     local: List[Expr] = []
     residual: List[Expr] = []
-    known = set(table.schema.column_names) | {
-        f"{binding}.{name}" for name in table.schema.column_names
-    }
+    known = set(table.schema.column_names)
+    if qualified:
+        known |= {f"{binding}.{name}" for name in table.schema.column_names}
     for part in conjuncts(predicate):
         if part.columns() and part.columns() <= known:
             local.append(part)
@@ -182,6 +215,113 @@ def _analyze_intervals(local: List[Expr], binding: str) -> Dict[str, _Interval]:
         column = _strip_alias(column, binding)
         intervals.setdefault(column, _Interval()).tighten(op, value, part)
     return {column: iv for column, iv in intervals.items() if iv.usable and iv.bounded}
+
+
+def _point_interval(value: Any, source: Expr) -> _Interval:
+    """The degenerate interval ``[value, value]`` (an IN-list member or
+    an equality disjunct)."""
+    interval = _Interval()
+    interval.tighten(">=", value, source)
+    interval.tighten("<=", value, source)
+    return interval
+
+
+def _is_point(interval: _Interval) -> bool:
+    return (
+        interval.low is not None
+        and interval.high is not None
+        and interval.low == interval.high
+        and interval.low[1]
+    )
+
+
+# ----------------------------------------------------------------------
+# Disjunction analysis (IN lists, OR-of-sargable-conjuncts)
+# ----------------------------------------------------------------------
+
+
+def _in_list_intervals(
+    expr: InList, binding: str
+) -> Optional[Tuple[str, List[_Interval]]]:
+    """``col IN (...)`` as de-duplicated per-value point intervals."""
+    if not isinstance(expr.inner, Col):
+        return None
+    column = _strip_alias(expr.inner.name, binding)
+    seen: set = set()
+    intervals: List[_Interval] = []
+    for value in expr.options:
+        if value is None:
+            continue  # ``col = NULL`` matches nothing an index could hold
+        try:
+            if value in seen:
+                continue
+            seen.add(value)
+        except TypeError:
+            return None  # unhashable literal: the IN stays in the filter
+        intervals.append(_point_interval(value, expr))
+    return column, intervals
+
+
+def _disjunct_intervals(
+    part: Expr, binding: str
+) -> Optional[Tuple[str, List[_Interval]]]:
+    """One OR disjunct — a sargable conjunction over a single column —
+    as ``(column, [intervals])``; ``None`` when not sargable."""
+    if isinstance(part, InList):
+        return _in_list_intervals(part, binding)
+    column: Optional[str] = None
+    interval = _Interval()
+    for conj in conjuncts(part):
+        bound = column_bound(conj)
+        if bound is None:
+            return None
+        name, op, value = bound
+        name = _strip_alias(name, binding)
+        if column is None:
+            column = name
+        elif name != column:
+            return None
+        if op == "=":
+            interval.tighten(">=", value, part)
+            interval.tighten("<=", value, part)
+        else:
+            interval.tighten(op, value, part)
+    if column is None or not interval.usable or not interval.bounded:
+        return None
+    return column, [interval]
+
+
+def _disjunction_intervals(
+    expr: Expr, binding: str
+) -> Optional[Tuple[str, List[_Interval]]]:
+    """Normalize a conjunct into per-disjunct intervals over one column.
+
+    Two shapes qualify: ``col IN (...)`` and a top-level OR whose every
+    disjunct is a sargable conjunction (comparison bounds, equalities,
+    nested IN lists) over the *same* column — e.g. ``(a > 1 AND a < 5)
+    OR a = 9 OR a IN (11, 13)``.  Anything else returns ``None`` and
+    stays a filter conjunct.  The interval union is exactly equivalent
+    to the predicate for non-NULL column values, which index probes
+    require anyway (:func:`_bound_safe`)."""
+    if isinstance(expr, InList):
+        return _in_list_intervals(expr, binding)
+    if not isinstance(expr, Or) or not expr.parts:
+        return None
+    column: Optional[str] = None
+    intervals: List[_Interval] = []
+    for part in expr.parts:
+        got = _disjunct_intervals(part, binding)
+        if got is None:
+            return None
+        part_column, part_intervals = got
+        if column is None:
+            column = part_column
+        elif part_column != column:
+            return None
+        intervals.extend(part_intervals)
+    if column is None:
+        return None
+    return column, intervals
 
 
 _NUMERIC = (ColumnType.INT, ColumnType.REAL)
@@ -284,8 +424,115 @@ def _match_index_order(
 
 
 # ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+#
+# Candidate costs are *estimated rows touched*, not wall time: the
+# expected scanned-row count times a per-access-kind factor, plus a
+# setup charge per probed range or bucket, plus — when the query has an
+# ORDER BY the candidate's output order does not satisfy — an n·log n
+# surcharge for the SortNode it would feed.  Selectivities come from
+# table statistics (row count; distinct-key counts, exact for hash
+# indexes and bounded-sample estimates for ordered ones — see
+# ``Table.index_stats``).  The figures only need to *rank* candidates;
+# exact ties fall back to the legacy rule priority (eq > prefix > range
+# > multi-range > seq) so plans stay deterministic.
+
+_HASH_ROW_COST = 1.0      # per row out of a hash bucket
+_ORDERED_ROW_COST = 1.1   # per row off an ordered index (block walk)
+_SEQ_ROW_COST = 1.0       # per row of a full heap scan
+_PROBE_COST = 1.0         # per probed range/bucket: bisections + setup
+_PREFIX_SELECTIVITY = 0.25
+#: fraction of rows surviving 0/1/2 comparison bounds on a column
+_BOUND_SELECTIVITY = {0: 1.0, 1: 0.4, 2: 0.15}
+
+
+def _candidate_cost(
+    est_rows: float,
+    row_cost: float,
+    probes: int,
+    satisfies_order: bool,
+    wants_order: bool,
+    total_rows: int,
+) -> float:
+    est = min(max(est_rows, 0.0), float(total_rows))
+    cost = row_cost * est + _PROBE_COST * probes
+    if wants_order and not satisfies_order:
+        cost += est * log2(est + 2.0)  # the SortNode this plan would feed
+    return cost
+
+
+def _eq_prefix_selectivity(stats: IndexStats, eq_len: int, width: int) -> float:
+    """Fraction of rows surviving ``eq_len`` equality-bound leading
+    columns of a ``width``-column index: the distinct full keys are
+    assumed to spread geometrically over the key columns."""
+    if eq_len <= 0:
+        return 1.0
+    per_column = float(max(1, stats.keys)) ** (1.0 / width)
+    return per_column ** -eq_len
+
+
+@dataclass
+class _Candidate:
+    """One costed access path: the physical node, the conjuncts it did
+    not absorb, and whether its output satisfies the ORDER BY."""
+
+    cost: float
+    rank: int  # enumeration order = legacy rule priority, the tie-break
+    node: TableScanNode
+    leftover: List[Expr]
+    ordered: bool
+
+
+# ----------------------------------------------------------------------
 # Access-path selection
 # ----------------------------------------------------------------------
+
+
+def _key_range(
+    prefix: Tuple[Any, ...], width: int, interval: Optional[_Interval]
+) -> KeyRange:
+    """Convert merged bounds on one column into index-key bounds.
+
+    ``prefix`` carries the equality-bound leading columns and ``width``
+    the index's total column count.  Keys in a multi-column index extend
+    the bounded prefix, and a short tuple sorts before any of its
+    extensions — so inclusive-low bounds need no padding, while
+    inclusive-high (and exclusive-low) bounds are padded with
+    ``MAX_KEY`` so every extension of the bound prefix falls on the
+    correct side.
+    """
+    eq_len = len(prefix)
+    extra = width - eq_len - 1
+    low: Optional[Tuple[Any, ...]] = None
+    high: Optional[Tuple[Any, ...]] = None
+    include_low = include_high = True
+    if interval is not None and interval.low is not None:
+        value, inclusive = interval.low
+        if inclusive:
+            low = prefix + (value,)
+        else:
+            low, include_low = prefix + (value,) + (MAX_KEY,) * extra, False
+    elif eq_len:
+        low = prefix
+    if interval is not None and interval.high is not None:
+        value, inclusive = interval.high
+        if inclusive:
+            high = prefix + (value,) + (MAX_KEY,) * extra
+        else:
+            high, include_high = prefix + (value,), False
+    elif eq_len:
+        high = prefix + (MAX_KEY,) * (width - eq_len)
+    return low, high, include_low, include_high
+
+
+def _hashable_values(values: Sequence[Any]) -> bool:
+    try:
+        for value in values:
+            hash(value)
+    except TypeError:
+        return False
+    return True
 
 
 def _choose_access_path(
@@ -294,10 +541,11 @@ def _choose_access_path(
     alias: Optional[str],
     local: List[Expr],
     order_spec: Optional[List[Tuple[str, bool]]] = None,
-) -> Tuple[PlanNode, List[Expr], bool]:
-    """Apply the planner rules; returns the access node, leftover
-    conjuncts that must still be filtered, and whether the node already
-    yields rows in the requested ORDER BY order."""
+) -> Tuple[TableScanNode, List[Expr], bool]:
+    """Enumerate candidate access paths, cost each, and keep the
+    cheapest; returns the access node, leftover conjuncts that must
+    still be filtered, and whether the node already yields rows in the
+    requested ORDER BY order."""
     eq_bindings: Dict[str, Any] = {}
     eq_sources: Dict[str, Expr] = {}
     for part in local:
@@ -307,141 +555,250 @@ def _choose_access_path(
             eq_bindings[column] = bound[2]
             eq_sources[column] = part
     eq_columns = tuple(eq_bindings)
+    total_rows = table.row_count
+    wants_order = order_spec is not None
+    trivially_ordered = _trivial_order(order_spec, eq_columns)
+    candidates: List[_Candidate] = []
+    rank = 0
 
-    # Rule 1: equality index (including the primary-key-backed indexes).
-    for spec in table.index_specs.values():
-        if all(column in eq_bindings for column in spec.columns):
-            key = tuple(eq_bindings[column] for column in spec.columns)
-            used = {eq_sources[column] for column in spec.columns}
-            leftover = [part for part in local if part not in used]
-            node = IndexEqScan(table, spec.name, key, alias)
-            return node, leftover, _trivial_order(order_spec, eq_columns)
+    # Statistics are computed lazily and cached per planning call: a
+    # query that resolves to a SeqScan or a plain probe never pays the
+    # ordered indexes' key-count sampling.
+    specs = list(table.index_specs.values())
+    stats_cache: Dict[str, IndexStats] = {}
 
-    # Rule 2: prefix scan on an ordered index.
-    for part in local:
-        if isinstance(part, PrefixMatch):
-            column = _strip_alias(part.column.name, binding)
-            for spec in table.index_specs.values():
-                if spec.ordered and spec.columns[0] == column:
-                    leftover = [p for p in local if p is not part]
-                    # the prefix scan is exact (startswith), nothing residual
-                    node = IndexPrefixScan(table, spec.name, part.prefix, alias)
-                    ordered = (
-                        _match_index_order(spec.columns, eq_columns, order_spec)
-                        is False  # forward scans only
-                    )
-                    return node, leftover, ordered
+    def stats_of(name: str) -> IndexStats:
+        stats = stats_cache.get(name)
+        if stats is None:
+            stats = stats_cache[name] = table.index_stats(name)
+        return stats
 
-    # Rule 3: range scan on an ordered index.  Candidates score by how
-    # much they push into the index: equality-bound leading columns, a
-    # bounded range on the next column, and ORDER BY satisfaction.
-    intervals = _analyze_intervals(local, binding)
-    best: Optional[Tuple[Tuple[int, int, int], IndexSpecChoice]] = None
-    for spec in table.index_specs.values():
-        if not spec.ordered:
+    # Distinct-key counts per covered column set: any index over exactly
+    # those columns measures their joint selectivity, whichever access
+    # path ends up using it.  Falls back to the geometric spread
+    # assumption (_eq_prefix_selectivity) for uncovered prefixes.
+    distinct_by_columns: Dict[Tuple[str, ...], int] = {}
+
+    def eq_rows(
+        columns: Sequence[str], fallback_index: str, width: int, depth: int
+    ) -> float:
+        """Expected rows matching equality on ``columns``."""
+        if not distinct_by_columns:
+            for spec in specs:
+                key = tuple(sorted(spec.columns))
+                keys = stats_of(spec.name).keys
+                distinct_by_columns[key] = max(distinct_by_columns.get(key, 0), keys)
+        distinct = distinct_by_columns.get(tuple(sorted(columns)))
+        if distinct:
+            return total_rows / distinct
+        return total_rows * _eq_prefix_selectivity(
+            stats_of(fallback_index), depth, width
+        )
+
+    # Equality candidates: indexes fully covered by equality conjuncts
+    # (including the primary-key-backed ones).
+    for spec in specs:
+        rank += 1
+        if not all(column in eq_bindings for column in spec.columns):
             continue
+        key = tuple(eq_bindings[column] for column in spec.columns)
+        if not _hashable_values(key):
+            continue  # an unhashable constant cannot probe a bucket
+        if any(value is None for value in key):
+            # `col = NULL` is always False under Cmp semantics, but a
+            # hash probe with a NULL key would *find* NULL rows — keep
+            # the conjunct in the filter instead
+            continue
+        if spec.ordered and not all(
+            _bound_safe(table, column, [eq_bindings[column]])
+            for column in spec.columns
+        ):
+            # ordered lookups bisect: a mixed-type or NULL-adjacent
+            # probe would raise where the equivalent filter is False
+            continue
+        stats = stats_of(spec.name)
+        used = {eq_sources[column] for column in spec.columns}
+        leftover = [part for part in local if part not in used]
+        est = 1.0 if stats.unique else total_rows / max(1, stats.keys)
+        row_cost = _ORDERED_ROW_COST if spec.ordered else _HASH_ROW_COST
+        cost = _candidate_cost(
+            est, row_cost, 1, trivially_ordered, wants_order, total_rows
+        )
+        candidates.append(
+            _Candidate(
+                cost,
+                rank,
+                IndexEqScan(table, spec.name, key, alias),
+                leftover,
+                trivially_ordered,
+            )
+        )
+
+    # Prefix candidates: a PrefixMatch on the leading column of an
+    # ordered index (the descendant-of pattern).
+    for part in local:
+        if not isinstance(part, PrefixMatch):
+            continue
+        column = _strip_alias(part.column.name, binding)
+        for spec in specs:
+            rank += 1
+            if not spec.ordered or spec.columns[0] != column:
+                continue
+            direction = _match_index_order(spec.columns, eq_columns, order_spec)
+            satisfied = direction is False  # prefix scans stream forward only
+            leftover = [p for p in local if p is not part]
+            est = max(1.0, total_rows * _PREFIX_SELECTIVITY)
+            cost = _candidate_cost(
+                est, _ORDERED_ROW_COST, 1, satisfied, wants_order, total_rows
+            )
+            candidates.append(
+                _Candidate(
+                    cost,
+                    rank,
+                    IndexPrefixScan(table, spec.name, part.prefix, alias),
+                    leftover,
+                    satisfied,
+                )
+            )
+
+    # Range and multi-range candidates over ordered indexes: equality
+    # bound leading columns, then either one merged interval or a
+    # disjunction (IN list / OR-of-ranges) on the next column.
+    intervals = _analyze_intervals(local, binding)
+    disjunctions: List[Tuple[Expr, str, List[_Interval]]] = []
+    for part in local:
+        got = _disjunction_intervals(part, binding)
+        if got is not None:
+            disjunctions.append((part, got[0], got[1]))
+
+    for spec in specs:
+        if not spec.ordered:
+            rank += 2
+            continue
+        width = len(spec.columns)
         eq_len = 0
         while (
-            eq_len < len(spec.columns)
+            eq_len < width
             and spec.columns[eq_len] in eq_bindings
             and _bound_safe(
                 table, spec.columns[eq_len], [eq_bindings[spec.columns[eq_len]]]
             )
         ):
             eq_len += 1
-        # rule 1 failed, so at least one column is not equality-bound
-        eq_len = min(eq_len, len(spec.columns) - 1)
+        # a fully equality-bound index is the eq candidate's business
+        eq_len = min(eq_len, width - 1)
         range_column = spec.columns[eq_len]
+        prefix = tuple(eq_bindings[c] for c in spec.columns[:eq_len])
+        prefix_used = {eq_sources[c] for c in spec.columns[:eq_len]}
+        direction = _match_index_order(spec.columns, eq_columns, order_spec)
+        satisfied = direction is not None
+
+        # one merged interval on the range column
+        rank += 1
         interval = intervals.get(range_column)
         if interval is not None:
             bound_values = [pair[0] for pair in (interval.low, interval.high) if pair]
             if not _bound_safe(table, range_column, bound_values):
                 interval = None
-        direction = _match_index_order(spec.columns, eq_columns, order_spec)
-        satisfies_order = direction is not None
-        if eq_len == 0 and interval is None and not satisfies_order:
-            continue  # nothing to push down; a full index scan buys nothing
-        bounds = int(interval is not None and interval.low is not None) + int(
-            interval is not None and interval.high is not None
-        )
-        score = (eq_len, bounds, int(satisfies_order))
-        choice = IndexSpecChoice(spec.name, spec.columns, eq_len, interval, direction)
-        if best is None or score > best[0]:
-            best = (score, choice)
-    if best is not None:
-        choice = best[1]
-        node = _range_scan_node(table, alias, choice, eq_bindings)
-        used = {eq_sources[c] for c in choice.columns[: choice.eq_len]}
-        if choice.interval is not None:
-            used.update(choice.interval.sources)
-        leftover = [part for part in local if part not in used]
-        return node, leftover, choice.direction is not None
+        if eq_len > 0 or interval is not None or satisfied:
+            prefix_rows = (
+                eq_rows(spec.columns[:eq_len], spec.name, width, eq_len)
+                if eq_len
+                else float(total_rows)
+            )
+            bounds = int(interval is not None and interval.low is not None) + int(
+                interval is not None and interval.high is not None
+            )
+            est = prefix_rows * _BOUND_SELECTIVITY[bounds]
+            cost = _candidate_cost(
+                est, _ORDERED_ROW_COST, 1, satisfied, wants_order, total_rows
+            )
+            used = set(prefix_used)
+            if interval is not None:
+                used.update(interval.sources)
+            leftover = [p for p in local if p not in used]
+            low, high, include_low, include_high = _key_range(prefix, width, interval)
+            node: TableScanNode = IndexRangeScan(
+                table,
+                spec.name,
+                low,
+                high,
+                include_low,
+                include_high,
+                alias,
+                reverse=direction is True,
+            )
+            candidates.append(_Candidate(cost, rank, node, leftover, satisfied))
 
-    # Rule 4: fall back to a sequential scan.
-    node = SeqScan(table, alias)
-    return node, list(local), _trivial_order(order_spec, eq_columns)
+        # a disjunction on the range column: the multi-range union
+        rank += 1
+        for part, column, part_intervals in disjunctions:
+            if column != range_column:
+                continue
+            values = [
+                pair[0]
+                for iv in part_intervals
+                for pair in (iv.low, iv.high)
+                if pair is not None
+            ]
+            # checked even with zero intervals: an all-NULL IN list is
+            # only "matches nothing" on a NOT NULL column — the filter's
+            # Python-`in` semantics make NULL IN (NULL) *true*, so a
+            # nullable column must keep the conjunct in the filter
+            if not _bound_safe(table, range_column, values):
+                continue
+            ranges = [_key_range(prefix, width, iv) for iv in part_intervals]
+            # the sweep's canonical order: sorted once here, and the node
+            # carries presorted=True so executions skip the re-sort.
+            # Cannot raise: _bound_safe confined every bound to one type
+            # family, and the key handles None lows and MAX_KEY padding.
+            ranges.sort(key=_range_start_key)
+            prefix_rows = (
+                eq_rows(spec.columns[:eq_len], spec.name, width, eq_len)
+                if eq_len
+                else float(total_rows)
+            )
+            point_rows = eq_rows(
+                spec.columns[: eq_len + 1], spec.name, width, eq_len + 1
+            )
+            est = 0.0
+            for iv in part_intervals:
+                if _is_point(iv):
+                    est += point_rows
+                else:
+                    bounds = int(iv.low is not None) + int(iv.high is not None)
+                    est += prefix_rows * _BOUND_SELECTIVITY[bounds]
+            cost = _candidate_cost(
+                est,
+                _ORDERED_ROW_COST,
+                len(ranges),
+                satisfied,
+                wants_order,
+                total_rows,
+            )
+            used = prefix_used | {part}
+            leftover = [p for p in local if p not in used]
+            node = IndexMultiRangeScan(
+                table,
+                spec.name,
+                ranges,
+                alias,
+                reverse=direction is True,
+                presorted=True,
+            )
+            candidates.append(_Candidate(cost, rank, node, leftover, satisfied))
 
-
-@dataclass(frozen=True)
-class IndexSpecChoice:
-    """A scored rule-3 candidate: which ordered index, how many leading
-    equality columns, the (possibly absent) range interval on the next
-    column, and the scan direction satisfying the ORDER BY (``None``
-    when it does not)."""
-
-    name: str
-    columns: Tuple[str, ...]
-    eq_len: int
-    interval: Optional[_Interval]
-    direction: Optional[bool]
-
-
-def _range_scan_node(
-    table: Table,
-    alias: Optional[str],
-    choice: IndexSpecChoice,
-    eq_bindings: Dict[str, Any],
-) -> IndexRangeScan:
-    """Convert merged bounds into index-key bounds.
-
-    Keys in a multi-column index extend the bounded prefix, and a short
-    tuple sorts before any of its extensions — so inclusive-low bounds
-    need no padding, while inclusive-high (and exclusive-low) bounds are
-    padded with ``MAX_KEY`` so every extension of the bound prefix falls
-    on the correct side.
-    """
-    prefix = tuple(eq_bindings[c] for c in choice.columns[: choice.eq_len])
-    extra = len(choice.columns) - choice.eq_len - 1
-    low: Optional[Tuple[Any, ...]] = None
-    high: Optional[Tuple[Any, ...]] = None
-    include_low = include_high = True
-    interval = choice.interval
-    if interval is not None and interval.low is not None:
-        value, inclusive = interval.low
-        if inclusive:
-            low = prefix + (value,)
-        else:
-            low, include_low = prefix + (value,) + (MAX_KEY,) * extra, False
-    elif choice.eq_len:
-        low = prefix
-    if interval is not None and interval.high is not None:
-        value, inclusive = interval.high
-        if inclusive:
-            high = prefix + (value,) + (MAX_KEY,) * extra
-        else:
-            high, include_high = prefix + (value,), False
-    elif choice.eq_len:
-        high = prefix + (MAX_KEY,) * (len(choice.columns) - choice.eq_len)
-    return IndexRangeScan(
-        table,
-        choice.name,
-        low,
-        high,
-        include_low,
-        include_high,
-        alias,
-        reverse=choice.direction is True,
+    # The fallback everyone competes against.
+    rank += 1
+    seq_cost = _candidate_cost(
+        float(total_rows), _SEQ_ROW_COST, 0, trivially_ordered, wants_order, total_rows
     )
+    candidates.append(
+        _Candidate(seq_cost, rank, SeqScan(table, alias), list(local), trivially_ordered)
+    )
+
+    best = min(candidates, key=lambda candidate: (candidate.cost, candidate.rank))
+    return best.node, best.leftover, best.ordered
 
 
 # ----------------------------------------------------------------------
@@ -517,3 +874,39 @@ def plan_query(
     if query.limit is not None or query.offset:
         node = LimitNode(node, query.limit, query.offset)
     return node
+
+
+def plan_mutation(
+    table: Table, predicate: Optional[Expr], *, naive: bool = False
+) -> Tuple[TableScanNode, Optional[Expr]]:
+    """Compile a DML predicate to an access path plus residual filter.
+
+    The planner's entry point for ``Database.delete_where`` /
+    ``update_where``: victim enumeration runs the returned node's
+    ``rows()`` stream of ``(rowid, row)`` pairs — probing the same
+    indexes a SELECT with this WHERE clause would — and applies the
+    residual predicate (the conjuncts the access path did not absorb)
+    to each row.  Only unqualified column references are plannable:
+    residuals evaluate against plain row dicts, so a ``t.col``
+    reference fails during evaluation exactly as it does on the naive
+    path, with or without indexes.  ``naive=True`` forces the
+    full-scan + filter-everything oracle used by the differential DML
+    tests.
+    """
+    binding = table.schema.name
+    local, residual = _split_predicate_for(binding, table, predicate, qualified=False)
+    if naive:
+        node: TableScanNode = SeqScan(table)
+        leftover: List[Expr] = local
+    else:
+        node, leftover, _order = _choose_access_path(table, binding, None, local)
+    parts = list(leftover)
+    if residual is not None:
+        parts.extend(conjuncts(residual))
+    if not parts:
+        combined: Optional[Expr] = None
+    elif len(parts) == 1:
+        combined = parts[0]
+    else:
+        combined = And(*parts)
+    return node, combined

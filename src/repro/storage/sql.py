@@ -13,11 +13,13 @@ Supported statements::
     DELETE FROM t [WHERE predicate]
     UPDATE t SET col = lit, ... [WHERE predicate]
 
-Predicates support ``= != < <= > >= AND OR NOT IS [NOT] NULL IN (...)``,
-``BETWEEN lo AND hi`` (desugared to a ``>=``/``<=`` pair the planner
-merges onto ordered indexes), and ``LIKE 'prefix%'`` (prefix patterns
-only — the shape provenance queries need).  This is intentionally a subset: enough to use the engine
-the way CPDB used MySQL, with readable tests.
+Predicates support ``= != < <= > >= AND OR NOT IS [NOT] NULL``,
+``[NOT] IN (...)`` (the planner maps an IN list on an ordered index
+onto one multi-range union scan), ``[NOT] BETWEEN lo AND hi``
+(desugared to a ``>=``/``<=`` pair the planner merges onto ordered
+indexes), and ``[NOT] LIKE 'prefix%'`` (prefix patterns only — the
+shape provenance queries need).  This is intentionally a subset: enough
+to use the engine the way CPDB used MySQL, with readable tests.
 """
 
 from __future__ import annotations
@@ -205,27 +207,21 @@ class _Parser:
             negated = self.accept_word("not") is not None
             self.expect_word("null")
             return IsNull(column, negated=negated)
+        if self.accept_word("not"):
+            # the negated atom forms: col NOT IN / NOT BETWEEN / NOT LIKE
+            if self.accept_word("in"):
+                return Not(self._in_list(column))
+            if self.accept_word("between"):
+                return Not(self._between(column))
+            if self.accept_word("like"):
+                return Not(self._like(column))
+            raise SQLError(f"expected IN, BETWEEN, or LIKE near {self._context()}")
         if self.accept_word("in"):
-            self.expect_op("(")
-            options = [self.literal()]
-            while self.accept_op(","):
-                options.append(self.literal())
-            self.expect_op(")")
-            return InList(column, tuple(options))
+            return self._in_list(column)
         if self.accept_word("between"):
-            # desugar to the BETWEEN-shaped conjunct pair the planner's
-            # interval analysis merges back into one index range
-            low = self.literal()
-            self.expect_word("and")
-            high = self.literal()
-            return And(
-                Cmp(">=", column, Const(low)), Cmp("<=", column, Const(high))
-            )
+            return self._between(column)
         if self.accept_word("like"):
-            pattern = self.literal()
-            if not isinstance(pattern, str) or not pattern.endswith("%") or "%" in pattern[:-1]:
-                raise SQLError("LIKE supports only 'prefix%' patterns")
-            return PrefixMatch(column, pattern[:-1])
+            return self._like(column)
         token = self.next()
         if token.kind != "op" or token.text not in ("=", "!=", "<>", "<", "<=", ">", ">="):
             raise SQLError(f"expected comparison operator, got {token.text!r}")
@@ -237,6 +233,28 @@ class _Parser:
         ):
             return Cmp(op, column, Col(self.column_ref()))
         return Cmp(op, column, Const(self.literal()))
+
+    def _in_list(self, column: Col) -> Expr:
+        self.expect_op("(")
+        options = [self.literal()]
+        while self.accept_op(","):
+            options.append(self.literal())
+        self.expect_op(")")
+        return InList(column, tuple(options))
+
+    def _between(self, column: Col) -> Expr:
+        # desugar to the BETWEEN-shaped conjunct pair the planner's
+        # interval analysis merges back into one index range
+        low = self.literal()
+        self.expect_word("and")
+        high = self.literal()
+        return And(Cmp(">=", column, Const(low)), Cmp("<=", column, Const(high)))
+
+    def _like(self, column: Col) -> Expr:
+        pattern = self.literal()
+        if not isinstance(pattern, str) or not pattern.endswith("%") or "%" in pattern[:-1]:
+            raise SQLError("LIKE supports only 'prefix%' patterns")
+        return PrefixMatch(column, pattern[:-1])
 
 
 # ----------------------------------------------------------------------

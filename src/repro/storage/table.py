@@ -3,15 +3,48 @@
 from __future__ import annotations
 
 from heapq import merge
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .errors import ConstraintError, DuplicateKeyError, SchemaError
-from .index import HashIndex, OrderedIndex
+from .index import HashIndex, KeyRange, OrderedIndex
 from .schema import IndexSpec, TableSchema
 
-__all__ = ["Table"]
+__all__ = ["Table", "IndexStats"]
 
 Row = Tuple[Any, ...]
+
+
+class IndexStats(NamedTuple):
+    """Planner-facing statistics for one index (see ``Table.index_stats``)."""
+
+    ordered: bool
+    unique: bool
+    entries: int
+    #: distinct keys — exact for hash indexes, a bounded-sample estimate
+    #: for ordered ones (see ``OrderedIndex.key_count``)
+    keys: int
+
+
+#: ``bulk_insert`` rebuilds a populated ordered index by sorted merge
+#: once ``batch >= ratio * index``; below it, incremental inserts win.
+#: Measured, not guessed: ``tools/sweep_bulk_crossover.py`` times both
+#: arms over batch/index ratios (curve in ``BENCH_micro.json`` under
+#: ``bulk_insert_crossover``) — merge-rebuild wins from ~0.2–0.35
+#: across 20k–200k-entry indexes, so 0.35 is the conservative edge of
+#: the measured band (the previous ``batch >= index`` guess forfeited
+#: up to ~2x for batches between 0.35x and 1x of the index).
+_MERGE_REBUILD_RATIO = 0.35
 
 
 class _MaxStat:
@@ -85,6 +118,17 @@ class Table:
         self._indexes: Dict[str, Union[HashIndex, OrderedIndex]] = {}
         self._index_specs: Dict[str, IndexSpec] = {}
         self._max_stats: Dict[str, Tuple[int, _MaxStat]] = {}
+        #: per-access-path call counters (one increment per *scan*, not
+        #: per row) — instrumentation for tests asserting e.g. that a
+        #: batched probe really issues one index pass, and for the
+        #: charged-cost vs wall-time split in the provenance harness
+        self.access_counts: Dict[str, int] = {
+            "scan": 0,
+            "eq_lookup": 0,
+            "prefix_scan": 0,
+            "range_scan": 0,
+            "multi_range_scan": 0,
+        }
         for spec in schema.indexes:
             self.create_index(spec)
 
@@ -127,6 +171,20 @@ class Table:
     @property
     def index_specs(self) -> Dict[str, IndexSpec]:
         return dict(self._index_specs)
+
+    def index_stats(self, name: str) -> IndexStats:
+        """Statistics for the planner's cost model, without exposing the
+        index object itself: kind, uniqueness, entry count, and a
+        distinct-key figure (exact for hash indexes, a bounded-sample
+        estimate for ordered ones)."""
+        index = self._indexes[name]
+        spec = self._index_specs[name]
+        return IndexStats(
+            ordered=spec.ordered,
+            unique=index.unique,
+            entries=len(index),
+            keys=index.key_count(),
+        )
 
     # ------------------------------------------------------------------
     # Incremental statistics
@@ -206,10 +264,11 @@ class Table:
         before any structure is touched, so a failing batch leaves the
         table unchanged.  Index maintenance then takes the cheapest
         lifecycle path per index — an empty index is bulk-built from the
-        sorted batch, a batch larger than an ordered index is merged
-        with its sorted entries into a rebuilt index (both O(n log n)
-        overall), and a small batch against a large index falls back to
-        incremental inserts.
+        sorted batch, a batch at least ``_MERGE_REBUILD_RATIO`` times an
+        ordered index's size is merged with its sorted entries into a
+        rebuilt index (both O(n log n) overall), and a smaller batch
+        falls back to incremental inserts (the measured crossover — see
+        the constant's note).
         """
         normalized = [self.schema.normalize_row(row) for row in rows]
         if not normalized:
@@ -267,7 +326,7 @@ class Table:
                     self._indexes[name] = OrderedIndex.bulk_build(
                         spec.name, entries, unique=spec.unique
                     )
-                elif len(entries) >= len(index):
+                elif len(entries) >= _MERGE_REBUILD_RATIO * len(index):
                     entries.sort()
                     merged = merge(index.items(), entries)
                     self._indexes[name] = OrderedIndex.bulk_build(
@@ -392,6 +451,7 @@ class Table:
         if not self._rows_ordered:
             self._rows = dict(sorted(self._rows.items()))
             self._rows_ordered = True
+        self.access_counts["scan"] += 1
         return iter(self._rows.items())
 
     def get(self, rowid: int) -> Row:
@@ -406,15 +466,17 @@ class Table:
 
     def lookup_index(self, index_name: str, key: Tuple[Any, ...]) -> Iterator[Tuple[int, Row]]:
         index = self._indexes[index_name]
-        for rowid in index.lookup_iter(key):
-            yield rowid, self._rows[rowid]
+        self.access_counts["eq_lookup"] += 1
+        rows = self._rows
+        return ((rowid, rows[rowid]) for rowid in index.lookup_iter(key))
 
     def prefix_scan(self, index_name: str, prefix: str) -> Iterator[Tuple[int, Row]]:
         index = self._indexes[index_name]
         if not isinstance(index, OrderedIndex):
             raise ConstraintError(f"index {index_name!r} does not support prefix scans")
-        for rowid in index.prefix_scan(prefix):
-            yield rowid, self._rows[rowid]
+        self.access_counts["prefix_scan"] += 1
+        rows = self._rows
+        return ((rowid, rows[rowid]) for rowid in index.prefix_scan(prefix))
 
     def range_scan(
         self,
@@ -441,8 +503,43 @@ class Table:
         index = self._indexes[index_name]
         if not isinstance(index, OrderedIndex):
             raise ConstraintError(f"index {index_name!r} does not support range scans")
-        for rowid in index.range(low, high, include_low, include_high, reverse):
-            yield rowid, self._rows[rowid]
+        self.access_counts["range_scan"] += 1
+        rows = self._rows
+        return (
+            (rowid, rows[rowid])
+            for rowid in index.range(low, high, include_low, include_high, reverse)
+        )
+
+    def multi_range_scan(
+        self,
+        index_name: str,
+        ranges: Sequence[KeyRange],
+        reverse: bool = False,
+        presorted: bool = False,
+    ) -> Iterator[Tuple[int, Row]]:
+        """Rows in the *union* of several index-key ranges, streamed in
+        global ``(key, rowid)`` order (descending with ``reverse``) in
+        one index pass.
+
+        ``ranges`` holds ``(low, high, include_low, include_high)``
+        tuples with :meth:`range_scan` semantics; overlapping or
+        duplicate ranges yield each row once.  ``presorted=True``
+        promises ascending-low-bound range order and skips the union's
+        sort.  This is the access path behind the planner's
+        ``IndexMultiRangeScan`` (``IN`` lists and OR-of-ranges) and the
+        provenance store's batched ``loc IN (...)`` probes — N probed
+        locations charge one ``multi_range_scan`` in
+        :attr:`access_counts`, not N range scans.
+        """
+        index = self._indexes[index_name]
+        if not isinstance(index, OrderedIndex):
+            raise ConstraintError(f"index {index_name!r} does not support range scans")
+        self.access_counts["multi_range_scan"] += 1
+        rows = self._rows
+        return (
+            (rowid, rows[rowid])
+            for rowid in index.multi_range(ranges, reverse, presorted)
+        )
 
     # ------------------------------------------------------------------
     # Statistics

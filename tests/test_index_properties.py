@@ -237,3 +237,53 @@ class TestRangeSentinels:
         assert list(index.range(reverse=True)) == list(range(n - 1, -1, -1))
         got = list(index.range((_LOAD - 7,), (2 * _LOAD + 3,), reverse=True))
         assert got == list(range(2 * _LOAD + 3, _LOAD - 8, -1))
+
+
+class TestMultiRangeUnion:
+    """multi_range == the sorted, de-duplicated union of per-range scans."""
+
+    ranges_strategy = st.lists(
+        st.tuples(
+            st.one_of(st.none(), index_keys),
+            st.one_of(st.none(), index_keys),
+            st.booleans(),
+            st.booleans(),
+        ),
+        max_size=6,
+    )
+
+    @staticmethod
+    def _in_range(key, key_range):
+        low, high, include_low, include_high = key_range
+        if low is not None and (key < low or (key == low and not include_low)):
+            return False
+        if high is not None and (key > high or (key == high and not include_high)):
+            return False
+        return True
+
+    @given(entries=index_entries, ranges=ranges_strategy, reverse=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_union_matches_model(self, entries, ranges, reverse):
+        distinct = sorted(set(entries))
+        index = OrderedIndex("m")
+        for key, rowid in distinct:
+            index.insert(key, rowid)
+        expected = [
+            rowid
+            for key, rowid in (reversed(distinct) if reverse else distinct)
+            if any(self._in_range(key, key_range) for key_range in ranges)
+        ]
+        assert list(index.multi_range(ranges, reverse)) == expected
+
+    @given(entries=index_entries, ranges=ranges_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_presorted_shortcut_agrees(self, entries, ranges):
+        from repro.storage.index import _range_start_key
+
+        index = OrderedIndex("m")
+        for key, rowid in set(entries):
+            index.insert(key, rowid)
+        ordered = sorted(ranges, key=_range_start_key)
+        assert list(index.multi_range(ordered, presorted=True)) == list(
+            index.multi_range(ranges)
+        )

@@ -30,8 +30,20 @@ from typing import Any, Dict, List, Optional, Tuple
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.storage import And, Cmp, Col, Const, Database, PrefixMatch, Query, TableRef
+from repro.storage import (
+    And,
+    Cmp,
+    Col,
+    Const,
+    Database,
+    InList,
+    Or,
+    PrefixMatch,
+    Query,
+    TableRef,
+)
 from repro.storage.plan import (
+    IndexMultiRangeScan,
     IndexRangeScan,
     PlanNode,
     SortNode,
@@ -66,6 +78,9 @@ _INDEX_POOL = [
     IndexSpec("ix_s", ("s",), ordered=True),
     IndexSpec("ix_ab", ("a", "b"), ordered=True),
     IndexSpec("ix_sa", ("s", "a"), ordered=True),
+    # hash on the nullable column: NULL-key probes must never serve
+    # `x = NULL` / `x IN (NULL)`, whose filter semantics match nothing
+    IndexSpec("ix_x_hash", ("x",)),
 ]
 
 _small_ints = st.integers(min_value=0, max_value=7)
@@ -78,7 +93,7 @@ def _schema(indexes: Tuple[IndexSpec, ...]) -> TableSchema:
             Column("a", ColumnType.INT, nullable=False),
             Column("b", ColumnType.INT, nullable=False),
             Column("s", ColumnType.TEXT, nullable=False),
-            Column("x", ColumnType.INT),  # nullable, never indexed
+            Column("x", ColumnType.INT),  # nullable; only ever hash-indexed
         ],
         indexes=indexes,
     )
@@ -113,10 +128,70 @@ def _const_strategy(column: str):
     return st.integers(min_value=-1, max_value=8)
 
 
+def _mixed_const_strategy(column: str):
+    """Mostly family-typed constants, occasionally the other family or
+    NULL — the planner must keep mixed-type IN members out of index
+    probes, and NULL members out of probes on nullable columns (where
+    the filter's Python-``in`` makes ``NULL IN (NULL)`` true)."""
+    return st.one_of(
+        _const_strategy(column),
+        _const_strategy(column),
+        _const_strategy(column),
+        st.sampled_from([0, "0", "zz", -1, None]),
+    )
+
+
+@st.composite
+def in_lists(draw, column: Optional[str] = None) -> InList:
+    if column is None:
+        column = draw(st.sampled_from(COLUMNS))
+    options = draw(st.lists(_mixed_const_strategy(column), min_size=1, max_size=4))
+    return InList(Col(column), tuple(options))
+
+
+@st.composite
+def simple_bounds(draw, column: str) -> Cmp:
+    op = draw(st.sampled_from(["=", "<", "<=", ">", ">="]))
+    value = draw(_const_strategy(column))
+    if draw(st.booleans()):
+        return Cmp(op, Col(column), Const(value))
+    return Cmp(op, Const(value), Col(column))
+
+
+@st.composite
+def disjunctions(draw) -> Or:
+    """OR of (mostly) sargable disjuncts: bounds, BETWEEN-shaped pairs,
+    and nested IN lists — usually all on one column (the multi-range
+    shape), sometimes crossing columns (must stay a filter)."""
+    column = draw(st.sampled_from(COLUMNS))
+    parts = []
+    for _ in range(draw(st.integers(2, 3))):
+        part_column = (
+            column if draw(st.integers(0, 3)) else draw(st.sampled_from(COLUMNS))
+        )
+        shape = draw(st.integers(0, 2))
+        if shape == 0:
+            parts.append(draw(simple_bounds(part_column)))
+        elif shape == 1:
+            parts.append(
+                And(
+                    draw(simple_bounds(part_column)), draw(simple_bounds(part_column))
+                )
+            )
+        else:
+            parts.append(draw(in_lists(part_column)))
+    return Or(*parts)
+
+
 @st.composite
 def conjuncts_(draw):
-    if draw(st.integers(0, 3)) == 0:
+    roll = draw(st.integers(0, 5))
+    if roll == 0:
         return PrefixMatch(Col("s"), draw(st.sampled_from(S_PREFIXES)))
+    if roll == 1:
+        return draw(in_lists())
+    if roll == 2:
+        return draw(disjunctions())
     column = draw(st.sampled_from(COLUMNS))
     op = draw(st.sampled_from(["=", "=", "<", "<=", ">", ">=", "!="]))
     value = draw(_const_strategy(column))
@@ -402,3 +477,203 @@ class TestDifferentialRegressions:
         plan = plan_query(db.tables, query)
         assert isinstance(plan, SortNode)
         assert_plan_equivalent(db, query)
+
+
+# ----------------------------------------------------------------------
+# Planned DML: delete_where/update_where vs the naive full-scan oracle
+# ----------------------------------------------------------------------
+
+
+def _clone_db(db: Database) -> Database:
+    """An independent database with the same schema, indexes, and rows."""
+    table = db.tables["t"]
+    clone = Database("oracle")
+    clone_table = clone.create_table(_schema(tuple(table.index_specs.values())))
+    for _rowid, row in table.scan():
+        clone_table.insert(row)
+    return clone
+
+
+def _table_counter(db: Database) -> Counter:
+    return Counter(row for _rowid, row in db.tables["t"].scan())
+
+
+@st.composite
+def predicates(draw) -> Optional[Any]:
+    parts = draw(st.lists(conjuncts_(), max_size=3))
+    if not parts:
+        return None
+    return parts[0] if len(parts) == 1 else And(*parts)
+
+
+@st.composite
+def change_sets(draw) -> Dict[str, Any]:
+    changes: Dict[str, Any] = {}
+    for column in draw(
+        st.lists(st.sampled_from(COLUMNS), min_size=1, max_size=2, unique=True)
+    ):
+        if column == "x":
+            changes[column] = draw(st.one_of(st.none(), _small_ints))
+        else:
+            changes[column] = draw(_const_strategy(column))
+    return changes
+
+
+class TestPlannedDMLDifferential:
+    """Planned victim enumeration must be invisible: delete_where and
+    update_where leave exactly the rows the naive full-scan oracle
+    leaves (multiset equality), raise exactly when it raises, and report
+    the same affected counts — whatever indexes exist."""
+
+    @given(db=databases(), predicate=predicates())
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        **_PROFILE,
+    )
+    def test_delete_where_matches_naive_oracle(self, db, predicate) -> None:
+        oracle = _clone_db(db)
+        try:
+            got = db.delete_where("t", predicate)
+            got_error = None
+        except Exception as error:  # noqa: BLE001 — error identity is the oracle
+            got, got_error = None, type(error)
+        try:
+            want = oracle.delete_where("t", predicate, naive=True)
+            want_error = None
+        except Exception as error:  # noqa: BLE001
+            want, want_error = None, type(error)
+        assert got_error == want_error
+        assert got == want
+        assert _table_counter(db) == _table_counter(oracle)
+
+    @given(db=databases(), predicate=predicates(), changes=change_sets())
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        **_PROFILE,
+    )
+    def test_update_where_matches_naive_oracle(self, db, predicate, changes) -> None:
+        oracle = _clone_db(db)
+        try:
+            got = db.update_where("t", changes, predicate)
+            got_error = None
+        except Exception as error:  # noqa: BLE001
+            got, got_error = None, type(error)
+        try:
+            want = oracle.update_where("t", changes, predicate, naive=True)
+            want_error = None
+        except Exception as error:  # noqa: BLE001
+            want, want_error = None, type(error)
+        assert got_error == want_error
+        assert got == want
+        assert _table_counter(db) == _table_counter(oracle)
+
+
+class TestDisjunctionRegressions:
+    """Deterministic IN/OR shapes worth pinning."""
+
+    _db = TestDifferentialRegressions._db
+
+    def test_in_list_uses_multi_range_scan(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(TableRef("t"), where=InList(Col("a"), (5, 1)))
+        plan = plan_query(db.tables, query)
+        assert isinstance(plan, IndexMultiRangeScan)
+        # values are de-duplicated and probed in sorted order
+        assert [low for low, *_rest in plan.ranges] == [(1,), (5,)]
+        assert_plan_equivalent(db, query)
+
+    def test_in_list_streams_order_without_sort(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=InList(Col("a"), (5, 1, 2)),
+            order_by=[(Col("a"), True)],
+        )
+        plan = plan_query(db.tables, query)
+        assert isinstance(plan, IndexMultiRangeScan) and plan.reverse
+        assert_plan_equivalent(db, query)
+
+    def test_or_of_ranges_is_equivalent(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=Or(
+                And(Cmp(">=", Col("a"), Const(1)), Cmp("<", Col("a"), Const(2))),
+                Cmp("=", Col("a"), Const(5)),
+            ),
+        )
+        plan = plan_query(db.tables, query)
+        assert isinstance(plan, IndexMultiRangeScan)
+        assert_plan_equivalent(db, query)
+
+    def test_overlapping_or_deduplicates(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=Or(Cmp(">", Col("a"), Const(1)), Cmp(">", Col("a"), Const(3))),
+        )
+        assert_plan_equivalent(db, query)
+
+    def test_cross_column_or_stays_in_filter(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(
+            TableRef("t"),
+            where=Or(Cmp("=", Col("a"), Const(1)), Cmp("=", Col("b"), Const(3))),
+        )
+        assert "SeqScan" in explain(plan_query(db.tables, query))
+        assert_plan_equivalent(db, query)
+
+    def test_mixed_type_in_members_stay_in_filter(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(TableRef("t"), where=InList(Col("a"), (1, "x", 3)))
+        assert "SeqScan" in explain(plan_query(db.tables, query))
+        assert_plan_equivalent(db, query)
+
+    def test_null_only_in_list_matches_nothing(self):
+        db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
+        query = Query(TableRef("t"), where=InList(Col("a"), (None,)))
+        assert list(plan_query(db.tables, query).execute()) == []
+        assert_plan_equivalent(db, query)
+
+
+class TestNullProbeRegressions:
+    """NULL constants may never reach an index probe: the expression
+    language says ``col = NULL`` is False and ``NULL IN (NULL)`` is
+    True (Python ``in``), while a physical probe with a NULL key would
+    decide by what the index happens to hold."""
+
+    def _nullable_db(self, *indexes: IndexSpec) -> Database:
+        db = Database("nulls")
+        table = db.create_table(
+            TableSchema(
+                "n",
+                [Column("k", ColumnType.INT, nullable=False),
+                 Column("c", ColumnType.TEXT)],
+                indexes=tuple(indexes),
+            )
+        )
+        table.insert((1, None))
+        table.insert((2, None))
+        return db
+
+    def test_all_null_in_list_on_nullable_indexed_column(self):
+        """Regression (caught in review): an all-NULL IN list on a
+        nullable ordered-indexed column used to become a zero-cost
+        empty-ranges IndexMultiRangeScan returning nothing, while the
+        naive oracle matches the NULL rows."""
+        db = self._nullable_db(IndexSpec("n_c", ("c",), ordered=True))
+        query = Query(TableRef("n"), where=InList(Col("c"), (None,)))
+        assert "IndexMultiRangeScan" not in explain(plan_query(db.tables, query))
+        assert len(list(plan_query(db.tables, query).execute())) == 2
+        assert_plan_equivalent(db, query)
+        assert db.delete_where("n", InList(Col("c"), (None,))) == 2
+
+    def test_eq_null_probe_on_nullable_hash_column(self):
+        """`c = NULL` is always False under Cmp semantics; a hash probe
+        with key (None,) would have found the NULL rows."""
+        db = self._nullable_db(IndexSpec("n_c_hash", ("c",)))
+        query = Query(TableRef("n"), where=Cmp("=", Col("c"), Const(None)))
+        assert "IndexEqScan" not in explain(plan_query(db.tables, query))
+        assert list(plan_query(db.tables, query).execute()) == []
+        assert_plan_equivalent(db, query)
+        assert db.delete_where("n", Cmp("=", Col("c"), Const(None))) == 0

@@ -195,3 +195,51 @@ class TestModWithoutTarget:
         editor, queries = queries_for("N")
         del editor  # the target database goes away entirely
         assert sorted(queries.get_mod("T/c2")) == [123, 124, 125, 126]
+
+
+class TestBatchedLocationProbes:
+    """records_at_locs answers N locations in one merged index pass."""
+
+    def _prov_table(self):
+        table = ProvTable()
+        from repro.core.provenance import ProvRecord
+
+        table.write_batch(
+            [
+                ProvRecord(tid=1, op="I", loc=Path.parse("T/a")),
+                ProvRecord(tid=2, op="I", loc=Path.parse("T/a/x")),
+                ProvRecord(tid=3, op="I", loc=Path.parse("T/b")),
+                ProvRecord(tid=4, op="C", loc=Path.parse("T/a"), src=Path.parse("S/a")),
+            ],
+            category="setup",
+        )
+        return table
+
+    def test_one_index_pass_for_n_locations(self):
+        table = self._prov_table()
+        counts = table._table.access_counts
+        before = dict(counts)
+        records = table.records_at_locs(
+            [Path.parse("T/a"), Path.parse("T/b"), Path.parse("T/zzz")]
+        )
+        assert [(r.tid, str(r.loc)) for r in records] == [
+            (1, "T/a"), (3, "T/b"), (4, "T/a"),
+        ]
+        assert counts["multi_range_scan"] == before["multi_range_scan"] + 1
+        assert counts["range_scan"] == before["range_scan"]  # one pass, not N
+        assert counts["scan"] == before["scan"]
+
+    def test_duplicate_locs_probe_once(self):
+        table = self._prov_table()
+        twice = table.records_at_locs([Path.parse("T/a"), Path.parse("T/a")])
+        once = table.records_at_locs([Path.parse("T/a")])
+        assert twice == once  # IN-list set semantics
+
+    def test_max_tid_window_pushed_into_ranges(self):
+        table = self._prov_table()
+        records = table.records_at_locs([Path.parse("T/a")], max_tid=3)
+        assert [(r.tid, r.op) for r in records] == [(1, "I")]
+
+    def test_empty_loc_list(self):
+        table = self._prov_table()
+        assert table.records_at_locs([]) == []

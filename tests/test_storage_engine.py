@@ -407,3 +407,173 @@ class TestUpdateRow:
         assert table.max_value("tid") == 9
         table.clear()
         assert table.max_value("tid") is None
+
+
+class TestMultiRangeScan:
+    def _table(self):
+        table = Table(prov_schema())
+        for tid, loc in [
+            (1, "T/a"), (2, "T/a"), (3, "T/b"), (4, "T/c"),
+            (5, "T/c/x"), (6, "T/d"), (7, "T/e"),
+        ]:
+            table.insert((tid, "I", loc, None))
+        return table
+
+    def test_union_streams_key_order_once(self):
+        table = self._table()
+        ranges = [
+            (("T/a",), ("T/b",), True, True),
+            (("T/b",), ("T/c",), True, True),  # overlaps the first at T/b
+            (("T/e",), ("T/e",), True, True),
+        ]
+        locs = [row[2] for _rid, row in table.multi_range_scan("prov_loc", ranges)]
+        assert locs == ["T/a", "T/a", "T/b", "T/c", "T/e"]  # sorted, deduped
+
+    def test_reverse_union(self):
+        table = self._table()
+        ranges = [
+            (("T/a",), ("T/b",), True, True),
+            (("T/d",), None, True, True),
+        ]
+        locs = [row[2] for _rid, row in table.multi_range_scan("prov_loc", ranges, reverse=True)]
+        assert locs == ["T/e", "T/d", "T/b", "T/a", "T/a"]
+
+    def test_duplicate_and_empty_ranges(self):
+        table = self._table()
+        ranges = [
+            (("T/c",), ("T/c",), True, True),
+            (("T/c",), ("T/c",), True, True),  # duplicate probe
+            (("T/z",), ("T/q",), True, True),  # contradictory: empty
+        ]
+        locs = [row[2] for _rid, row in table.multi_range_scan("prov_loc", ranges)]
+        assert locs == ["T/c"]
+        assert list(table.multi_range_scan("prov_loc", [])) == []
+
+    def test_counts_one_pass(self):
+        table = self._table()
+        before = dict(table.access_counts)
+        list(table.multi_range_scan("prov_loc", [(("T/a",), None, True, True)]))
+        assert table.access_counts["multi_range_scan"] == before["multi_range_scan"] + 1
+        assert table.access_counts["range_scan"] == before["range_scan"]
+
+    def test_requires_ordered_index(self):
+        table = self._table()
+        with pytest.raises(ConstraintError):
+            table.multi_range_scan("prov_tid", [((1,), (2,), True, True)])
+
+
+class TestPlannedDML:
+    """delete_where/update_where route victim enumeration through the
+    planner and are statement-atomic under mid-batch failures."""
+
+    def _db(self, wal_dir=None):
+        from repro.storage.db import Database
+
+        db = Database("dml", wal_dir=wal_dir)
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("k", ColumnType.INT, nullable=False),
+                    Column("u", ColumnType.INT, nullable=False),
+                    Column("v", ColumnType.TEXT),
+                ],
+                primary_key=("k",),
+                indexes=(
+                    IndexSpec("t_u", ("u",), unique=True),
+                    IndexSpec("t_k", ("k",), ordered=True),
+                ),
+            )
+        )
+        for k in range(6):
+            db.insert("t", (k, k * 10, f"v{k}"))
+        return db
+
+    def test_delete_uses_index_scan(self):
+        from repro.storage.expr import Cmp, Col, Const, InList
+        from repro.storage.plan import IndexMultiRangeScan, IndexRangeScan
+
+        db = self._db()
+        table = db.table("t")
+        node, residual = db.plan_mutation("t", Cmp("<", Col("k"), Const(2)))
+        assert isinstance(node, IndexRangeScan) and residual is None
+        node, residual = db.plan_mutation("t", InList(Col("k"), (1, 4)))
+        assert isinstance(node, IndexMultiRangeScan) and residual is None
+        before = dict(table.access_counts)
+        assert db.delete_where("t", InList(Col("k"), (1, 4))) == 2
+        assert table.access_counts["multi_range_scan"] == before["multi_range_scan"] + 1
+        assert table.access_counts["scan"] == before["scan"]  # no full scan
+        assert sorted(row[0] for _r, row in table.scan()) == [0, 2, 3, 5]
+
+    def test_delete_matches_naive_oracle(self):
+        from repro.storage.expr import Cmp, Col, Const, Or
+
+        predicate = Or(Cmp("<", Col("k"), Const(2)), Cmp(">=", Col("k"), Const(5)))
+        planned, naive = self._db(), self._db()
+        assert planned.delete_where("t", predicate) == naive.delete_where(
+            "t", predicate, naive=True
+        )
+        key = lambda item: item[1]
+        assert sorted(planned.table("t").scan(), key=key) == sorted(
+            naive.table("t").scan(), key=key
+        )
+
+    def test_update_where_unique_collision_rolls_back_applied_victims(self):
+        """A unique-key collision on the Nth victim must leave the table
+        exactly as before the call: victims 1..N-1 are reverted, nothing
+        reaches the undo log, and no transaction stays open."""
+        from repro.storage.expr import Cmp, Col, Const
+
+        db = self._db()
+        table = db.table("t")
+        snapshot = sorted(table.scan(), key=lambda item: item[1])
+        # every k < 3 victim gets u=99: k=0 succeeds, then k=1 collides
+        # with the just-updated k=0 — a genuine mid-batch failure with
+        # one victim already applied
+        with pytest.raises(DuplicateKeyError):
+            db.update_where("t", {"u": 99}, Cmp("<", Col("k"), Const(3)))
+        assert sorted(table.scan(), key=lambda item: item[1]) == snapshot
+        assert not db.in_transaction
+        # the table is fully usable afterwards: the same statement with a
+        # non-colliding value applies cleanly
+        assert db.update_where("t", {"v": "w"}, Cmp("<", Col("k"), Const(3))) == 3
+
+    def test_update_collision_leaves_wal_clean(self, tmp_path):
+        """Nothing of a failed update statement may reach the WAL: after
+        a crash + recovery the table matches its pre-call state."""
+        from repro.storage.expr import Cmp, Col, Const
+
+        db = self._db(wal_dir=str(tmp_path))
+        table = db.table("t")
+        snapshot = sorted(row for _rid, row in table.scan())
+        with pytest.raises(DuplicateKeyError):
+            db.update_where("t", {"u": 99}, Cmp("<", Col("k"), Const(3)))
+        db.crash()
+        db.recover()
+        assert sorted(row for _rid, row in table.scan()) == snapshot
+
+    def test_update_collision_inside_explicit_txn_reverts_statement_only(self):
+        from repro.storage.expr import Cmp, Col, Const
+
+        db = self._db()
+        table = db.table("t")
+        db.begin()
+        db.update_where("t", {"v": "first"}, Cmp("=", Col("k"), Const(0)))
+        with pytest.raises(DuplicateKeyError):
+            db.update_where("t", {"u": 99}, Cmp("<", Col("k"), Const(3)))
+        assert db.in_transaction  # statement reverted, txn still open
+        db.commit()
+        rows = {row[0]: row for _rid, row in table.scan()}
+        assert rows[0][2] == "first"  # the earlier statement survived
+        assert [rows[k][1] for k in range(6)] == [0, 10, 20, 30, 40, 50]
+
+    def test_qualified_column_fails_identically(self):
+        from repro.storage.errors import UnknownColumnError
+        from repro.storage.expr import Cmp, Col, Const
+
+        predicate = Cmp("=", Col("t.k"), Const(1))
+        for naive in (False, True):
+            db = self._db()
+            with pytest.raises(UnknownColumnError):
+                db.delete_where("t", predicate, naive=naive)
+            assert db.table("t").row_count == 6

@@ -366,3 +366,123 @@ class TestSQL:
         rows = execute_sql(db, "SELECT * FROM prov WHERE src = 'S1/a2' OR src != 'S1/a2'")
         # NULL src rows match neither side
         assert len(rows) == 3
+
+
+@pytest.fixture
+def events_db():
+    """A table big enough that the cost model prefers index probes over
+    the 5-row prov fixture's near-tie seq scans."""
+    database = Database("events")
+    execute_sql(
+        database,
+        "CREATE TABLE ev (k INT NOT NULL, g INT NOT NULL, v TEXT NOT NULL, "
+        "PRIMARY KEY (k))",
+    )
+    execute_sql(database, "CREATE ORDERED INDEX ev_k ON ev (k)")
+    execute_sql(database, "CREATE INDEX ev_g_hash ON ev (g)")
+    execute_sql(database, "CREATE ORDERED INDEX ev_gk ON ev (g, k)")
+    values = ", ".join(f"({i}, {i % 4}, 'v{i}')" for i in range(40))
+    execute_sql(database, f"INSERT INTO ev VALUES {values}")
+    return database
+
+
+class TestMultiRangeSnapshots:
+    """Exact plans for the disjunction access paths (IN lists, OR) and
+    the cost-based tie-break — regressions change these strings."""
+
+    def test_in_list_snapshot(self, events_db):
+        plan = _plan_sql(events_db, "SELECT * FROM ev WHERE k IN (3, 1, 3, 7)")
+        assert explain(plan) == (
+            "IndexMultiRangeScan(ev.ev_k in "
+            "[(1,), (1,)] ∪ [(3,), (3,)] ∪ [(7,), (7,)])"
+        )
+
+    def test_or_of_ranges_snapshot(self, events_db):
+        plan = _plan_sql(events_db, "SELECT * FROM ev WHERE k < 2 OR k >= 38")
+        assert explain(plan) == (
+            "IndexMultiRangeScan(ev.ev_k in [None, (2,)) ∪ [(38,), None])"
+        )
+
+    def test_in_list_desc_order_elides_sort(self, events_db):
+        plan = _plan_sql(
+            events_db, "SELECT * FROM ev WHERE k IN (1, 5, 9) ORDER BY k DESC"
+        )
+        assert explain(plan) == (
+            "IndexMultiRangeScan(ev.ev_k in "
+            "[(1,), (1,)] ∪ [(5,), (5,)] ∪ [(9,), (9,)] desc)"
+        )
+
+    def test_eq_prefix_plus_in_list_on_composite(self, events_db):
+        plan = _plan_sql(
+            events_db, "SELECT * FROM ev WHERE g = 2 AND k IN (2, 30) ORDER BY k"
+        )
+        rendered = explain(plan)
+        assert "IndexMultiRangeScan" in rendered and "Sort" not in rendered
+
+    def test_cost_tie_break_prefers_order_serving_index(self, events_db):
+        """The PR 2 planner always picked the fully-eq-covered hash index
+        (static eq > range priority) and paid a sort; the cost model
+        routes the same query through the composite ordered index and
+        streams."""
+        plan = _plan_sql(events_db, "SELECT * FROM ev WHERE g = 2 ORDER BY k")
+        assert explain(plan) == "IndexRangeScan(ev.ev_gk in [(2,), (2, _MAX)])"
+
+    def test_cost_tie_break_without_order_keeps_hash(self, events_db):
+        plan = _plan_sql(events_db, "SELECT * FROM ev WHERE g = 2")
+        assert explain(plan) == "IndexEqScan(ev.ev_g_hash = (2,))"
+
+    def test_multi_range_rows_match_filter(self, events_db):
+        rows = execute_sql(
+            events_db, "SELECT k FROM ev WHERE k IN (3, 1, 7) ORDER BY k"
+        )
+        assert [row["k"] for row in rows] == [1, 3, 7]
+
+
+class TestPlannedDMLExplain:
+    def test_planned_delete_uses_multi_range(self, events_db):
+        from repro.storage import Col, InList
+
+        node, residual = events_db.plan_mutation("ev", InList(Col("k"), (1, 7)))
+        assert explain(node) == (
+            "IndexMultiRangeScan(ev.ev_k in [(1,), (1,)] ∪ [(7,), (7,)])"
+        )
+        assert residual is None
+
+    def test_planned_delete_keeps_residual(self, events_db):
+        from repro.storage import And, Cmp, Col, Const
+
+        predicate = And(Cmp("<", Col("k"), Const(5)), Cmp("=", Col("v"), Const("v1")))
+        node, residual = events_db.plan_mutation("ev", predicate)
+        assert "IndexRangeScan" in explain(node)
+        assert residual is not None and "v1" in repr(residual)
+
+    def test_sql_delete_with_in_list(self, events_db):
+        affected = execute_sql(events_db, "DELETE FROM ev WHERE k IN (1, 3, 5)")
+        assert affected == [{"affected": 3}]
+        assert execute_sql(events_db, "SELECT count(*) AS n FROM ev")[0]["n"] == 37
+
+    def test_sql_update_with_or(self, events_db):
+        affected = execute_sql(
+            events_db, "UPDATE ev SET v = 'edge' WHERE k < 1 OR k > 38"
+        )
+        assert affected == [{"affected": 2}]
+        rows = execute_sql(events_db, "SELECT k FROM ev WHERE v = 'edge' ORDER BY k")
+        assert [row["k"] for row in rows] == [0, 39]
+
+
+class TestNegatedAtoms:
+    def test_not_in(self, db):
+        rows = execute_sql(db, "SELECT tid FROM prov WHERE tid NOT IN (121, 123)")
+        assert sorted(row["tid"] for row in rows) == [122, 124, 124]
+
+    def test_not_between(self, db):
+        rows = execute_sql(db, "SELECT tid FROM prov WHERE tid NOT BETWEEN 122 AND 123")
+        assert sorted(row["tid"] for row in rows) == [121, 124, 124]
+
+    def test_not_like(self, db):
+        rows = execute_sql(db, "SELECT loc FROM prov WHERE loc NOT LIKE 'T/c2%'")
+        assert sorted(row["loc"] for row in rows) == ["T/c1/y", "T/c5"]
+
+    def test_not_requires_atom_keyword(self, db):
+        with pytest.raises(SQLError):
+            execute_sql(db, "SELECT * FROM prov WHERE tid NOT = 5")

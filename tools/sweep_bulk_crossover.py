@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Measure the ``Table.bulk_insert`` merge-rebuild crossover.
+
+When a batch lands on a populated ``OrderedIndex``, ``bulk_insert``
+chooses between *incremental* maintenance (one ``insert`` per entry:
+bisect + in-block memmove) and a *merge-rebuild* (sort the batch, merge
+with the index's sorted entries via ``heapq.merge``, bulk-build the
+result).  The threshold was a guess (batch >= index); this sweep times
+both arms across batch/index size ratios, records the curve under
+``"bulk_insert_crossover"`` in ``BENCH_micro.json`` (preserving the
+benchmark results already there) plus a standalone copy, and reports
+the measured crossover ratio that ``_MERGE_REBUILD_RATIO`` in
+``src/repro/storage/table.py`` is set from.
+
+Usage::
+
+    PYTHONPATH=src python tools/sweep_bulk_crossover.py [--quick]
+        [--out BENCH_micro.json] [--standalone BENCH_crossover.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from heapq import merge
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.storage.index import OrderedIndex  # noqa: E402
+
+
+def make_entries(n: int, seed: int, offset: int = 0) -> list:
+    rng = random.Random(seed)
+    entries = [
+        (
+            (f"T/c{rng.randrange(40)}/n{rng.randrange(60)}/x{offset + i}",),
+            offset + i,
+        )
+        for i in range(n)
+    ]
+    rng.shuffle(entries)
+    return entries
+
+
+def timed(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def incremental_arm(base: list, batch: list) -> float:
+    def run():
+        index = OrderedIndex.bulk_build("sweep", base)
+        for key, rowid in batch:
+            index.insert(key, rowid)
+        return index
+
+    return timed(run)
+
+
+def merge_arm(base: list, batch: list) -> float:
+    def run():
+        index = OrderedIndex.bulk_build("sweep", base)
+        pending = list(batch)
+        pending.sort()
+        return OrderedIndex.bulk_build(
+            "sweep", merge(index.items(), pending), presorted=True
+        )
+
+    return timed(run)
+
+
+def baseline(base: list) -> float:
+    """The shared per-arm setup (building the starting index), measured
+    so arm timings can be reported net of it."""
+    return timed(lambda: OrderedIndex.bulk_build("sweep", base))
+
+
+def sweep(index_sizes, ratios):
+    curve = {}
+    crossovers = []
+    for size in index_sizes:
+        base = make_entries(size, seed=7)
+        setup = baseline(base)
+        row = {}
+        crossover = None
+        for ratio in ratios:
+            batch = make_entries(max(1, int(size * ratio)), seed=11, offset=size)
+            inc = max(incremental_arm(base, batch) - setup, 1e-9)
+            mrg = max(merge_arm(base, batch) - setup, 1e-9)
+            row[str(ratio)] = {
+                "batch": len(batch),
+                "incremental_s": round(inc, 6),
+                "merge_s": round(mrg, 6),
+                "merge_wins": mrg < inc,
+            }
+            if crossover is None and mrg < inc:
+                crossover = ratio
+            print(
+                f"[sweep] index={size} ratio={ratio:<5} batch={len(batch):<7} "
+                f"incremental={inc * 1e3:8.1f}ms merge={mrg * 1e3:8.1f}ms "
+                f"{'<- merge wins' if mrg < inc else ''}"
+            )
+        curve[str(size)] = row
+        if crossover is not None:
+            crossovers.append(crossover)
+    return curve, crossovers
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument("--out", default="BENCH_micro.json")
+    parser.add_argument("--standalone", default="BENCH_crossover.json")
+    args = parser.parse_args()
+
+    if args.quick:
+        index_sizes = [20_000, 60_000]
+    else:
+        index_sizes = [20_000, 60_000, 200_000]
+    ratios = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0]
+
+    curve, crossovers = sweep(index_sizes, ratios)
+    measured = max(crossovers) if crossovers else None
+    payload = {
+        "index_sizes": index_sizes,
+        "ratios": ratios,
+        "curve": curve,
+        "crossover_ratio": measured,
+        "note": (
+            "merge-rebuild beats incremental inserts once batch/index >= "
+            "crossover_ratio; _MERGE_REBUILD_RATIO in storage/table.py is "
+            "set from the full (non-quick) sweep"
+        ),
+    }
+    print(f"[sweep] measured crossover ratio: {measured}")
+
+    with open(args.standalone, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # merge into BENCH_micro.json without clobbering the benchmark results
+    try:
+        with open(args.out, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        existing = {}
+    if not isinstance(existing, dict):
+        existing = {}
+    existing["bulk_insert_crossover"] = payload
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[sweep] wrote {args.standalone} and merged into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
