@@ -29,7 +29,9 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..common.clock import CostModel, VirtualClock
 from ..storage.db import Database
+from ..storage.expr import Col
 from ..storage.index import MAX_KEY
+from ..storage.plan import IndexNestedLoopJoin, ValuesNode
 from ..storage.schema import Column, IndexSpec, TableSchema
 from ..storage.types import ColumnType
 from .paths import Path
@@ -210,26 +212,40 @@ class ProvTable:
         max_tid: Optional[int] = None,
     ) -> List[ProvRecord]:
         """Records at any of ``locs``, in *one* round trip **and one
-        index pass** (the stored procedures batch their location probes
-        into a single ``loc IN (...)`` query; the engine answers it
-        with one multi-range union scan over the ``(loc, tid)`` index
-        instead of one range scan per location — closing the
-        charged-cost vs wall-time gap the serial probes left).
-        Duplicate locations are probed once, IN-list set semantics.
-        ``max_tid`` is the time-travel version window — ``AND tid <=
-        max_tid`` pushed into every probed range instead of fetched and
-        filtered client-side."""
+        index pass** — the batch read behind the trace walks and
+        ancestor-coverage fetches of :mod:`repro.core.queries`.
+
+        Since PR 5 this rides the storage engine's join machinery: the
+        probed locations form a :class:`~repro.storage.plan.ValuesNode`
+        driver joined to the provenance table by an
+        :class:`~repro.storage.plan.IndexNestedLoopJoin` on the ``(loc,
+        tid)`` ordered index, with the time-travel window ``tid <=
+        max_tid`` pushed into every probe range as the join's tail
+        bound.  A single unchunked probe batch keeps the PR 4 contract:
+        N locations charge one round trip and execute one presorted
+        multi-range union pass (counter-asserted via ``multi_range_scan``
+        *and* the join operator's ``inlj_probe`` counter).  Duplicate
+        locations are probed once, IN-list set semantics."""
         texts = sorted({str(loc) for loc in locs})
-        high_tid = MAX_KEY if max_tid is None else max_tid
-        ranges = [((text,), (text, high_tid), True, True) for text in texts]
-        rows = [
-            row
-            for _rid, row in self._table.multi_range_scan(
-                f"{self.table_name}_loc", ranges, presorted=True
+        join = IndexNestedLoopJoin(
+            ValuesNode([{"loc": text} for text in texts]),
+            self._table,
+            f"{self.table_name}_loc",
+            (Col("loc"),),
+            tail_high=None if max_tid is None else (max_tid, True),
+            chunk=0,  # the batch is one charged round trip: one probe pass
+        )
+        records = [
+            ProvRecord(
+                env["tid"],
+                env["op"],
+                Path.parse(env["loc"]),
+                Path.parse(env["src"]) if env["src"] else None,
             )
+            for env in join.execute()
         ]
-        self._charge_read(len(rows), category)
-        return sorted((ProvRecord.from_row(row) for row in rows), key=_record_order)
+        self._charge_read(len(records), category)
+        return sorted(records, key=_record_order)
 
     def all_records(self, category: str = "query") -> List[ProvRecord]:
         rows = [row for _rid, row in self._table.scan()]

@@ -95,7 +95,14 @@ class ProvenanceQueries:
         ``bound`` is the time-travel version window: records of later
         transactions are irrelevant to a walk bounded at ``bound``, so
         the ``tid <= bound`` cut is pushed into the store's index range
-        instead of being filtered client-side after a full fetch."""
+        instead of being filtered client-side after a full fetch.
+
+        The batch itself rides the storage engine's join machinery:
+        ``records_at_locs`` joins the probed locations (position plus
+        ancestor chain) to the ``(loc, tid)`` index through one
+        ``IndexNestedLoopJoin`` probe pass, with ``bound`` as the
+        join's tail range — so a trace step or ancestor-coverage fetch
+        charges one round trip *and* executes one index pass."""
         locs = [position]
         if self.store.hierarchical:
             for ancestor in position.ancestors():

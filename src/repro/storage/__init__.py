@@ -13,6 +13,7 @@ Public surface:
 from .client import StoreClient
 from .db import Database
 from .errors import (
+    AmbiguousColumnError,
     ConstraintError,
     DuplicateKeyError,
     SchemaError,
@@ -64,6 +65,7 @@ __all__ = [
     "Or",
     "PrefixMatch",
     "StorageError",
+    "AmbiguousColumnError",
     "SchemaError",
     "ConstraintError",
     "DuplicateKeyError",

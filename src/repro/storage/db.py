@@ -18,7 +18,7 @@ from .errors import (
     UnknownTableError,
 )
 from .expr import Expr
-from .plan import PlanNode, TableScanNode
+from .plan import PlanNode, TableScanNode, explain as explain_plan
 from .query import Query, plan_mutation, plan_query
 from .schema import Column, IndexSpec, TableSchema
 from .table import Table
@@ -321,6 +321,18 @@ class Database:
         inspection for planned DML (see
         :func:`~repro.storage.query.plan_mutation`)."""
         return plan_mutation(self.table(table_name), predicate, naive=naive)
+
+    def explain(self, query: Query, *, naive: bool = False, estimates: bool = False) -> str:
+        """EXPLAIN: the plan for ``query`` rendered as indented text.
+
+        ``estimates=True`` appends the planner's estimated row count to
+        every access path and join operator (``est_rows=N``) — the
+        figures the cost model ranked candidates and join orders by, so
+        a surprising plan can be traced to the estimate that caused it.
+        The default output matches :func:`repro.storage.plan.explain`
+        exactly (snapshot-stable across estimator changes).
+        """
+        return explain_plan(self.plan(query, naive=naive), estimates=estimates)
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
         return list(self.plan(query).execute())

@@ -39,6 +39,16 @@ class UnknownColumnError(StorageError):
     """Referenced column does not exist in the schema."""
 
 
+class AmbiguousColumnError(StorageError):
+    """An unqualified column name resolves to conflicting values.
+
+    Raised by join operators when two inputs share an unqualified column
+    name, the joined rows disagree on its value, and no table alias is
+    available to disambiguate — silently preferring one side (what the
+    engine used to do) turns a naming accident into wrong answers.
+    """
+
+
 class TransactionError(StorageError):
     """Invalid transaction state transition (e.g. commit without begin)."""
 

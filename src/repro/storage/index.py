@@ -616,6 +616,31 @@ class OrderedIndex:
         self._key_count_cache = (self._len, estimate)
         return estimate
 
+    def sample_keys(self, limit: int = 512) -> List[Any]:
+        """Up to ``limit`` *leading* key components, evenly sampled
+        across the index, in sorted order.
+
+        The cheap sampling source behind per-column equi-depth
+        histograms (``Table.column_histogram``): entries are already
+        sorted by key, so an even stride over the blocks yields a
+        sorted quantile sample of the first key column without
+        touching the heap or re-sorting anything.  A statistic, not a
+        snapshot — it only has to approximate the distribution.
+        """
+        if self._len == 0 or limit <= 0:
+            return []
+        step = max(1, -(-self._len // limit))  # ceil: never exceed ``limit``
+        sample: List[Any] = []
+        position = 0
+        next_pick = 0
+        for block in self._blocks:
+            block_len = len(block)
+            while next_pick < position + block_len:
+                sample.append(block[next_pick - position][0][0])
+                next_pick += step
+            position += block_len
+        return sample
+
     def prefix_scan(self, prefix: str) -> Iterator[int]:
         """Row ids whose *first* key component is a string with ``prefix``.
 

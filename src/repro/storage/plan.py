@@ -8,10 +8,12 @@ that joins can merge bindings from several tables; qualified output uses
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from itertools import islice
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from .errors import AmbiguousColumnError
 from .expr import Col, Expr
-from .index import KeyRange
+from .index import MAX_KEY, KeyRange
 from .table import Table
 
 __all__ = [
@@ -22,9 +24,11 @@ __all__ = [
     "IndexPrefixScan",
     "IndexRangeScan",
     "IndexMultiRangeScan",
+    "ValuesNode",
     "FilterNode",
     "ProjectNode",
     "HashJoinNode",
+    "IndexNestedLoopJoin",
     "NestedLoopJoinNode",
     "SortNode",
     "LimitNode",
@@ -208,6 +212,24 @@ class IndexMultiRangeScan(TableScanNode):
 
 
 @dataclass
+class ValuesNode(PlanNode):
+    """A literal relation: a fixed list of environments.
+
+    The driver side of planner-external joins — e.g. the provenance
+    store's batched location probes join a values list of locations
+    against the ``(loc, tid)`` index via :class:`IndexNestedLoopJoin`.
+    """
+
+    values: List[Env]
+
+    def execute(self) -> Iterator[Env]:
+        return iter(self.values)
+
+    def describe(self) -> str:
+        return f"Values({len(self.values)} rows)"
+
+
+@dataclass
 class FilterNode(PlanNode):
     child: PlanNode
     predicate: Expr
@@ -240,49 +262,293 @@ class ProjectNode(PlanNode):
         return (self.child,)
 
 
+class _EnvMerger:
+    """Merges a left and right environment into one join output row.
+
+    The merged dict keeps every key from both sides, the left value
+    winning on collision — *except* that a colliding unqualified column
+    whose two sides disagree and that no alias can disambiguate raises
+    :class:`~repro.storage.errors.AmbiguousColumnError` (the engine used
+    to silently prefer the left row, turning a shared column name on an
+    unaliased join into wrong answers).  When both sides also carry a
+    qualified (``alias.column``) variant of the name, the collision is
+    resolvable by qualification and the legacy left-wins merge stands.
+
+    One instance per join execution: the key sets of each side are fixed
+    for a given plan, so the colliding-key analysis runs once, on the
+    first pair, and every later merge only compares those values.
+    """
+
+    __slots__ = ("_checked",)
+
+    def __init__(self) -> None:
+        self._checked: Optional[Tuple[str, ...]] = None
+
+    def merge(self, left_env: Env, right_env: Env) -> Env:
+        checked = self._checked
+        if checked is None:
+            checked = self._checked = self._conflict_keys(left_env, right_env)
+        for key in checked:
+            if left_env[key] != right_env[key]:
+                raise AmbiguousColumnError(
+                    f"column {key!r} is ambiguous across joined tables "
+                    f"(values {left_env[key]!r} and {right_env[key]!r}); "
+                    f"alias the tables and qualify the reference"
+                )
+        merged = dict(right_env)
+        merged.update(left_env)
+        return merged
+
+    @staticmethod
+    def _conflict_keys(left_env: Env, right_env: Env) -> Tuple[str, ...]:
+        checked = []
+        for key in left_env:
+            if "." in key or key not in right_env:
+                continue
+            dotted = "." + key
+            if any(k.endswith(dotted) for k in left_env) and any(
+                k.endswith(dotted) for k in right_env
+            ):
+                continue  # both sides reachable via alias qualification
+            checked.append(key)
+        return tuple(checked)
+
+
+JoinKey = Union[Expr, Tuple[Expr, ...]]
+
+
+def _as_exprs(key: JoinKey) -> Tuple[Expr, ...]:
+    if isinstance(key, Expr):
+        return (key,)
+    return tuple(key)
+
+
+def _eval_key(exprs: Tuple[Expr, ...], env: Env) -> Optional[Tuple[Any, ...]]:
+    """The probe/build key for one row — ``None`` when any component is
+    NULL, which never equi-joins (``Cmp`` semantics)."""
+    values = []
+    for expr in exprs:
+        value = expr.eval(env)
+        if value is None:
+            return None
+        values.append(value)
+    return tuple(values)
+
+
+def _render_key(key: JoinKey) -> str:
+    exprs = _as_exprs(key)
+    if len(exprs) == 1:
+        return repr(exprs[0])
+    return "(" + ", ".join(repr(expr) for expr in exprs) + ")"
+
+
 @dataclass
 class HashJoinNode(PlanNode):
-    """Equi-join: build a hash table on the right input, probe with left."""
+    """Equi-join: build a hash table on one input, probe with the other.
+
+    ``left_key``/``right_key`` are single expressions or equal-length
+    tuples (multi-conjunct ``ON a.x = b.x AND a.y = b.y`` joins hash the
+    composite key).  ``build_left`` selects the build side: the default
+    builds on the right input (the legacy shape); the planner sets it
+    when the left side's estimated cardinality is smaller, so the
+    materialized hash table is always the cheaper input while the
+    larger one streams.  Output environments are identical either way
+    (left values win qualified-resolvable collisions; disagreeing
+    unresolvable ones raise — see :class:`_EnvMerger`).
+    """
 
     left: PlanNode
     right: PlanNode
-    left_key: Expr
-    right_key: Expr
+    left_key: JoinKey
+    right_key: JoinKey
+    build_left: bool = False
 
     def execute(self) -> Iterator[Env]:
-        buckets: Dict[Any, List[Env]] = {}
-        for env in self.right.execute():
-            buckets.setdefault(self.right_key.eval(env), []).append(env)
-        for left_env in self.left.execute():
-            key = self.left_key.eval(left_env)
-            if key is None:
-                continue
-            for right_env in buckets.get(key, ()):
-                merged = dict(right_env)
-                merged.update(left_env)
-                yield merged
+        left_keys = _as_exprs(self.left_key)
+        right_keys = _as_exprs(self.right_key)
+        merger = _EnvMerger()
+        buckets: Dict[Tuple[Any, ...], List[Env]] = {}
+        if self.build_left:
+            for env in self.left.execute():
+                key = _eval_key(left_keys, env)
+                if key is not None:
+                    buckets.setdefault(key, []).append(env)
+            for right_env in self.right.execute():
+                key = _eval_key(right_keys, right_env)
+                if key is None:
+                    continue
+                for left_env in buckets.get(key, ()):
+                    yield merger.merge(left_env, right_env)
+        else:
+            for env in self.right.execute():
+                key = _eval_key(right_keys, env)
+                if key is not None:
+                    buckets.setdefault(key, []).append(env)
+            for left_env in self.left.execute():
+                key = _eval_key(left_keys, left_env)
+                if key is None:
+                    continue
+                for right_env in buckets.get(key, ()):
+                    yield merger.merge(left_env, right_env)
 
     def describe(self) -> str:
-        return f"HashJoin({self.left_key!r} = {self.right_key!r})"
+        build = ", build=left" if self.build_left else ""
+        return f"HashJoin({_render_key(self.left_key)} = {_render_key(self.right_key)}{build})"
 
     def children(self) -> Sequence[PlanNode]:
         return (self.left, self.right)
 
 
+def _probe_key_range(
+    prefix: Tuple[Any, ...],
+    width: int,
+    low: Optional[Tuple[Any, bool]],
+    high: Optional[Tuple[Any, bool]],
+) -> KeyRange:
+    """Key bounds for one probe: ``prefix`` pins the index's leading
+    columns, ``low``/``high`` optionally bound the next column.  Same
+    padding discipline as the planner's ``_key_range``: a short tuple
+    sorts before its extensions, so inclusive-high and exclusive-low
+    bounds are padded with ``MAX_KEY``."""
+    eq_len = len(prefix)
+    extra = max(0, width - eq_len - 1)
+    include_low = include_high = True
+    if low is not None:
+        value, inclusive = low
+        if inclusive:
+            low_key = prefix + (value,)
+        else:
+            low_key, include_low = prefix + (value,) + (MAX_KEY,) * extra, False
+    else:
+        low_key = prefix
+    if high is not None:
+        value, inclusive = high
+        if inclusive:
+            high_key = prefix + (value,) + (MAX_KEY,) * extra
+        else:
+            high_key, include_high = prefix + (value,), False
+    else:
+        high_key = prefix + (MAX_KEY,) * (width - eq_len)
+    return low_key, high_key, include_low, include_high
+
+
+#: left rows per IndexNestedLoopJoin probe batch: large enough that the
+#: per-batch multi-range sweep amortizes its setup, small enough that a
+#: streaming left side is not fully materialized.  0 = one batch.
+INLJ_CHUNK = 256
+
+
+@dataclass
+class IndexNestedLoopJoin(PlanNode):
+    """Equi-join that probes an index of the right table with keys from
+    the left input, instead of materializing the right side.
+
+    Left rows are batched into chunks (``chunk`` rows; ``0`` = one
+    batch).  Per chunk, the distinct non-NULL probe keys are evaluated
+    once; on an *ordered* index they become one presorted
+    :meth:`Table.multi_range_scan` — a single sweep over the index per
+    chunk, the same machinery behind ``IN`` lists — while a hash index
+    takes one equality probe per distinct key.  ``left_exprs`` supply
+    values for the index's leading columns; ``tail_low``/``tail_high``
+    optionally push a static interval on the next index column into
+    every probe range (the provenance time-travel ``tid <= bound``
+    window).  ``residual`` is a right-table-only predicate applied to
+    probed rows before merging.
+
+    Each probe batch increments ``table.access_counts["inlj_probe"]``,
+    extending the store's one-pass assertions to join probes.
+    """
+
+    left: PlanNode
+    table: Table
+    index_name: str
+    left_exprs: Tuple[Expr, ...]
+    alias: Optional[str] = None
+    residual: Optional[Expr] = None
+    tail_low: Optional[Tuple[Any, bool]] = None
+    tail_high: Optional[Tuple[Any, bool]] = None
+    chunk: int = INLJ_CHUNK
+
+    def execute(self) -> Iterator[Env]:
+        spec = self.table.index_specs[self.index_name]
+        width = len(spec.columns)
+        eq_len = len(self.left_exprs)
+        table, alias, residual = self.table, self.alias, self.residual
+        project = table.schema.project
+        lead = spec.columns[:eq_len]
+        merger = _EnvMerger()
+        left_iter = self.left.execute()
+        while True:
+            batch = list(islice(left_iter, self.chunk) if self.chunk else left_iter)
+            if not batch:
+                return
+            groups: Dict[Tuple[Any, ...], List[Env]] = {}
+            for env in batch:
+                key = _eval_key(self.left_exprs, env)
+                if key is not None:
+                    groups.setdefault(key, []).append(env)
+            if groups:
+                table.access_counts["inlj_probe"] += 1
+                if spec.ordered:
+                    # one presorted multi-range sweep for the whole chunk
+                    ranges = [
+                        _probe_key_range(key, width, self.tail_low, self.tail_high)
+                        for key in sorted(groups)
+                    ]
+                    for _rowid, row in table.multi_range_scan(
+                        self.index_name, ranges, presorted=True
+                    ):
+                        right_env = _env_from_row(table, row, alias)
+                        if residual is not None and not residual.eval(right_env):
+                            continue
+                        for left_env in groups.get(project(row, lead), ()):
+                            yield merger.merge(left_env, right_env)
+                else:
+                    for key, envs in groups.items():
+                        for _rowid, row in table.lookup_index(self.index_name, key):
+                            right_env = _env_from_row(table, row, alias)
+                            if residual is not None and not residual.eval(right_env):
+                                continue
+                            for left_env in envs:
+                                yield merger.merge(left_env, right_env)
+            if not self.chunk:
+                return
+
+    def describe(self) -> str:
+        probes = ", ".join(repr(expr) for expr in self.left_exprs)
+        extras = []
+        if self.tail_low is not None or self.tail_high is not None:
+            low = self.tail_low[0] if self.tail_low else None
+            high = self.tail_high[0] if self.tail_high else None
+            extras.append(f"tail in [{low!r}, {high!r}]")
+        if self.residual is not None:
+            extras.append(f"filter {self.residual!r}")
+        tail = (", " + ", ".join(extras)) if extras else ""
+        return (
+            f"IndexNestedLoopJoin({self.table.schema.name}.{self.index_name}"
+            f" <- ({probes}){tail})"
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left,)
+
+
 @dataclass
 class NestedLoopJoinNode(PlanNode):
-    """General join with an arbitrary predicate (used for non-equi joins)."""
+    """General join with an arbitrary predicate — the physical operator
+    non-equi join conditions fall back to (an ``ON`` clause with no
+    usable equality pair cannot hash or probe)."""
 
     left: PlanNode
     right: PlanNode
     predicate: Optional[Expr] = None
 
     def execute(self) -> Iterator[Env]:
+        merger = _EnvMerger()
         right_rows = list(self.right.execute())
         for left_env in self.left.execute():
             for right_env in right_rows:
-                merged = dict(right_env)
-                merged.update(left_env)
+                merged = merger.merge(left_env, right_env)
                 if self.predicate is None or self.predicate.eval(merged):
                     yield merged
 
@@ -440,9 +706,19 @@ class DistinctNode(PlanNode):
         return (self.child,)
 
 
-def explain(node: PlanNode, indent: int = 0) -> str:
-    """Render a plan tree as indented text (for tests and debugging)."""
-    lines = ["  " * indent + node.describe()]
+def explain(node: PlanNode, indent: int = 0, estimates: bool = False) -> str:
+    """Render a plan tree as indented text (for tests and debugging).
+
+    ``estimates=True`` appends the planner's estimated row count to
+    every node that carries one (the planner annotates access paths and
+    join operators with ``est_rows``); the default output is unchanged,
+    so plan snapshots stay stable across estimator tweaks.
+    """
+    line = "  " * indent + node.describe()
+    est = getattr(node, "est_rows", None)
+    if estimates and est is not None:
+        line += f"  (est_rows={est:.0f})"
+    lines = [line]
     for child in node.children():
-        lines.append(explain(child, indent + 1))
+        lines.append(explain(child, indent + 1, estimates))
     return "\n".join(lines)

@@ -22,6 +22,15 @@ composite ordered index that also satisfies the ORDER BY can beat a
 fully-equality-covered hash index whose output would still need a sort.
 Residual conjuncts stay in a ``FilterNode`` above the access path.
 
+Joins are planned as a cost-based subsystem of their own (see the
+*Join planning* section below): equality conditions from ``ON``
+clauses (any operand order, AND-ed multi-conjunct) and from WHERE
+conjuncts form a join graph, join order is enumerated under the same
+cost model with equi-depth-histogram selectivities, and each step
+chooses between an ``IndexNestedLoopJoin`` (batched index probes into
+the new table) and a build-side-aware ``HashJoinNode``; non-equi ON
+conditions fall back to ``NestedLoopJoinNode``.
+
 *Interesting orders*: when the chosen access path already yields rows in
 the requested ORDER BY order — an ordered-index scan whose key columns
 (minus equality-bound ones) lead with the ORDER BY columns, possibly
@@ -51,6 +60,8 @@ from .expr import (
     Const,
     Expr,
     InList,
+    IsNull,
+    Not,
     Or,
     PrefixMatch,
     column_bound,
@@ -64,14 +75,17 @@ from .plan import (
     HashJoinNode,
     IndexEqScan,
     IndexMultiRangeScan,
+    IndexNestedLoopJoin,
     IndexPrefixScan,
     IndexRangeScan,
     LimitNode,
+    NestedLoopJoinNode,
     PlanNode,
     ProjectNode,
     SeqScan,
     SortNode,
     TableScanNode,
+    _probe_key_range,
 )
 from .table import IndexStats, Table
 from .types import ColumnType
@@ -91,11 +105,32 @@ class TableRef:
 
 @dataclass(frozen=True)
 class JoinSpec:
-    """An equi-join between the query's running result and a new table."""
+    """A join between the query's running result and a new table.
+
+    ``left_key = right_key`` is the first equality condition (kept as
+    two fields for backward compatibility); ``extra`` carries further
+    AND-ed equality pairs (``ON a.x = b.x AND a.y = b.y``) and
+    ``residual`` any non-equi ON conjuncts, evaluated over the joined
+    row.  Operand order is *as written* — the planner normalizes sides
+    by binding, so ``ON b.x = a.x`` probes and builds correctly.  A
+    spec with no equality pairs (pure non-equi, or none at all — a
+    cross join) executes as a nested-loop join.
+    """
 
     table: TableRef
-    left_key: Expr
-    right_key: Expr
+    left_key: Optional[Expr] = None
+    right_key: Optional[Expr] = None
+    extra: Tuple[Tuple[Expr, Expr], ...] = ()
+    residual: Optional[Expr] = None
+
+    @property
+    def pairs(self) -> Tuple[Tuple[Expr, Expr], ...]:
+        """Every equality condition as an ``(as-written-left,
+        as-written-right)`` pair."""
+        first: Tuple[Tuple[Expr, Expr], ...] = ()
+        if self.left_key is not None and self.right_key is not None:
+            first = ((self.left_key, self.right_key),)
+        return first + tuple(self.extra)
 
 
 @dataclass
@@ -482,6 +517,7 @@ class _Candidate:
     node: TableScanNode
     leftover: List[Expr]
     ordered: bool
+    est: float = 0.0  # estimated rows out of the access path (EXPLAIN)
 
 
 # ----------------------------------------------------------------------
@@ -495,34 +531,22 @@ def _key_range(
     """Convert merged bounds on one column into index-key bounds.
 
     ``prefix`` carries the equality-bound leading columns and ``width``
-    the index's total column count.  Keys in a multi-column index extend
-    the bounded prefix, and a short tuple sorts before any of its
-    extensions — so inclusive-low bounds need no padding, while
-    inclusive-high (and exclusive-low) bounds are padded with
-    ``MAX_KEY`` so every extension of the bound prefix falls on the
-    correct side.
+    the index's total column count.  The ``MAX_KEY`` padding discipline
+    lives in :func:`repro.storage.plan._probe_key_range` (shared with
+    the join operator's probe ranges); the one difference is that with
+    no equality prefix an unbounded side stays ``None`` (fully open)
+    rather than degenerating to an empty-tuple bound.
     """
-    eq_len = len(prefix)
-    extra = width - eq_len - 1
-    low: Optional[Tuple[Any, ...]] = None
-    high: Optional[Tuple[Any, ...]] = None
-    include_low = include_high = True
-    if interval is not None and interval.low is not None:
-        value, inclusive = interval.low
-        if inclusive:
-            low = prefix + (value,)
-        else:
-            low, include_low = prefix + (value,) + (MAX_KEY,) * extra, False
-    elif eq_len:
-        low = prefix
-    if interval is not None and interval.high is not None:
-        value, inclusive = interval.high
-        if inclusive:
-            high = prefix + (value,) + (MAX_KEY,) * extra
-        else:
-            high, include_high = prefix + (value,), False
-    elif eq_len:
-        high = prefix + (MAX_KEY,) * (width - eq_len)
+    low_pair = interval.low if interval is not None else None
+    high_pair = interval.high if interval is not None else None
+    low, high, include_low, include_high = _probe_key_range(
+        prefix, width, low_pair, high_pair
+    )
+    if not prefix:
+        if low_pair is None:
+            low = None
+        if high_pair is None:
+            high = None
     return low, high, include_low, include_high
 
 
@@ -631,6 +655,7 @@ def _choose_access_path(
                 IndexEqScan(table, spec.name, key, alias),
                 leftover,
                 trivially_ordered,
+                est,
             )
         )
 
@@ -658,6 +683,7 @@ def _choose_access_path(
                     IndexPrefixScan(table, spec.name, part.prefix, alias),
                     leftover,
                     satisfied,
+                    est,
                 )
             )
 
@@ -706,10 +732,19 @@ def _choose_access_path(
                 if eq_len
                 else float(total_rows)
             )
-            bounds = int(interval is not None and interval.low is not None) + int(
-                interval is not None and interval.high is not None
-            )
-            est = prefix_rows * _BOUND_SELECTIVITY[bounds]
+            fraction: Optional[float] = None
+            if interval is not None:
+                # histogram-measured bound tightness when available; the
+                # fixed per-bound factors remain the fallback
+                histogram = table.column_histogram(range_column)
+                if histogram is not None:
+                    fraction = histogram.range_fraction(interval.low, interval.high)
+            if fraction is None:
+                bounds = int(interval is not None and interval.low is not None) + int(
+                    interval is not None and interval.high is not None
+                )
+                fraction = _BOUND_SELECTIVITY[bounds]
+            est = prefix_rows * fraction
             cost = _candidate_cost(
                 est, _ORDERED_ROW_COST, 1, satisfied, wants_order, total_rows
             )
@@ -728,7 +763,7 @@ def _choose_access_path(
                 alias,
                 reverse=direction is True,
             )
-            candidates.append(_Candidate(cost, rank, node, leftover, satisfied))
+            candidates.append(_Candidate(cost, rank, node, leftover, satisfied, est))
 
         # a disjunction on the range column: the multi-range union
         rank += 1
@@ -761,13 +796,21 @@ def _choose_access_path(
             point_rows = eq_rows(
                 spec.columns[: eq_len + 1], spec.name, width, eq_len + 1
             )
+            histogram = table.column_histogram(range_column)
             est = 0.0
             for iv in part_intervals:
                 if _is_point(iv):
                     est += point_rows
-                else:
+                    continue
+                fraction = (
+                    histogram.range_fraction(iv.low, iv.high)
+                    if histogram is not None
+                    else None
+                )
+                if fraction is None:
                     bounds = int(iv.low is not None) + int(iv.high is not None)
-                    est += prefix_rows * _BOUND_SELECTIVITY[bounds]
+                    fraction = _BOUND_SELECTIVITY[bounds]
+                est += prefix_rows * fraction
             cost = _candidate_cost(
                 est,
                 _ORDERED_ROW_COST,
@@ -786,7 +829,7 @@ def _choose_access_path(
                 reverse=direction is True,
                 presorted=True,
             )
-            candidates.append(_Candidate(cost, rank, node, leftover, satisfied))
+            candidates.append(_Candidate(cost, rank, node, leftover, satisfied, est))
 
     # The fallback everyone competes against.
     rank += 1
@@ -794,11 +837,886 @@ def _choose_access_path(
         float(total_rows), _SEQ_ROW_COST, 0, trivially_ordered, wants_order, total_rows
     )
     candidates.append(
-        _Candidate(seq_cost, rank, SeqScan(table, alias), list(local), trivially_ordered)
+        _Candidate(
+            seq_cost,
+            rank,
+            SeqScan(table, alias),
+            list(local),
+            trivially_ordered,
+            float(total_rows),
+        )
     )
 
     best = min(candidates, key=lambda candidate: (candidate.cost, candidate.rank))
+    best.node.est_rows = min(max(best.est, 0.0), float(total_rows))  # EXPLAIN estimate
     return best.node, best.leftover, best.ordered
+
+
+# ----------------------------------------------------------------------
+# Join planning
+# ----------------------------------------------------------------------
+#
+# Joins are planned as a *join graph*: each table binding is a node and
+# every equality condition between two bindings — whether written in an
+# ``ON`` clause (any operand order, multi-conjunct) or as a WHERE
+# conjunct — is an edge.  Join order is chosen by cost (dynamic
+# programming over subsets up to ``_DP_RELATIONS`` relations, greedy
+# smallest-estimated-intermediate beyond), and each step picks its
+# physical operator: an ``IndexNestedLoopJoin`` probing the new table's
+# index with batched left-side keys, or a ``HashJoinNode`` whose build
+# side is the smaller estimated input.  Equi-join selectivity is
+# ``1 / max(distinct(left column), distinct(right column))`` with
+# distinct counts from per-column equi-depth histograms
+# (``Table.column_histogram``).
+#
+# Reordering and operator substitution must be *invisible* next to the
+# naive left-deep oracle — same result multiset, same errors.  The
+# checks in ``_reorder_safe`` guarantee that: every join condition must
+# attribute each side to exactly one relation (so its value cannot
+# depend on evaluation order), shared unqualified column names require
+# aliases (so env merging cannot raise for one order and not another),
+# and non-equi ON residuals must be shapes whose evaluation cannot
+# raise (so deferring them to a different intermediate cannot hide an
+# error).  Queries that fail the checks keep the written join order —
+# with physical-operator selection still active where it is provably
+# equivalent — and anything murkier falls all the way back to the
+# legacy hash-join pipeline.
+
+
+@dataclass
+class _Relation:
+    """One table binding in the join graph."""
+
+    ref: TableRef
+    table: Table
+    local: List[Expr]
+    est: float = 0.0  # estimated rows after local predicates
+
+    @property
+    def binding(self) -> str:
+        return self.ref.binding
+
+
+@dataclass
+class _JoinCondition:
+    """A JoinSpec, normalized: binding-attributed equality pairs plus
+    any non-equi residual, for the relation at index ``right``."""
+
+    right: int
+    pairs: List[Tuple[Expr, Expr]]
+    residual: Optional[Expr]
+
+
+@dataclass
+class _Pair:
+    """One equality condition at a join step: ``left`` evaluates on the
+    accumulated side, ``right`` on the newly joined relation."""
+
+    left: Expr
+    right: Expr
+    left_owner: Optional[int]  # unique owning relation, when attributable
+    right_col: Optional[str]   # unqualified column on the joined table
+
+
+@dataclass
+class _InljPlan:
+    """A costed IndexNestedLoopJoin candidate for one join step."""
+
+    index_name: str
+    left_exprs: Tuple[Expr, ...]
+    uncovered: List[_Pair]
+    residual: Optional[Expr]
+    tail_low: Optional[Tuple[Any, bool]]
+    tail_high: Optional[Tuple[Any, bool]]
+    cost: float
+
+
+@dataclass
+class _StepPlan:
+    """The chosen physical operator for one join step."""
+
+    op: str  # "inlj" | "hash" | "nlj"
+    cost: float
+    out: float
+    pairs: List[_Pair]
+    inlj: Optional[_InljPlan] = None
+    build_left: bool = False
+
+
+#: exhaustive DP join ordering up to this many relations; greedy beyond
+_DP_RELATIONS = 4
+_HASH_BUILD_COST = 1.5  # per build-side row: materialize + hash insert
+
+
+def _and_all(parts: Sequence[Expr]) -> Optional[Expr]:
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return And(*parts)
+
+
+def _owners(name: str, relations: Sequence[_Relation]) -> List[int]:
+    """Relations where a ``Col(name)`` reference resolves *at runtime*:
+    unqualified names exist in every relation whose table has the
+    column; qualified ``a.c`` only where ``a`` is the relation's alias
+    (environments carry qualified keys only for aliased tables)."""
+    if "." in name:
+        qualifier, column = name.split(".", 1)
+        return [
+            index
+            for index, rel in enumerate(relations)
+            if rel.ref.alias == qualifier and rel.table.schema.has_column(column)
+        ]
+    return [
+        index
+        for index, rel in enumerate(relations)
+        if rel.table.schema.has_column(name)
+    ]
+
+
+def _resolves_on(name: str, rel: _Relation) -> Optional[str]:
+    """The unqualified column of ``rel`` that ``Col(name)`` reads, or
+    ``None`` when the reference does not resolve on this relation."""
+    if "." in name:
+        qualifier, column = name.split(".", 1)
+        if rel.ref.alias == qualifier and rel.table.schema.has_column(column):
+            return column
+        return None
+    return name if rel.table.schema.has_column(name) else None
+
+
+def _unique_owner(expr: Expr, relations: Sequence[_Relation]) -> Optional[int]:
+    if not isinstance(expr, Col):
+        return None
+    owners = _owners(expr.name, relations)
+    return owners[0] if len(owners) == 1 else None
+
+
+def _normalize_condition(
+    spec: JoinSpec, right_index: int, relations: Sequence[_Relation]
+) -> _JoinCondition:
+    """Normalize a JoinSpec's equality pairs by binding: a pair written
+    ``ON b.x = a.x`` (new table first) is swapped so the left expression
+    references prior bindings and the right the joined table.  Sides
+    that stay ambiguous or unresolvable keep their written order, which
+    preserves the legacy behavior (including its errors) exactly."""
+    pairs: List[Tuple[Expr, Expr]] = []
+    for left, right in spec.pairs:
+        if isinstance(left, Col) and isinstance(right, Col):
+            left_owners = _owners(left.name, relations)
+            right_owners = _owners(right.name, relations)
+            if (
+                left_owners == [right_index]
+                and right_owners
+                and right_index not in right_owners
+            ):
+                left, right = right, left
+        pairs.append((left, right))
+    return _JoinCondition(right_index, pairs, spec.residual)
+
+
+_FAMILY_OF_TYPE = {
+    ColumnType.INT: "n",
+    ColumnType.REAL: "n",
+    ColumnType.TEXT: "s",
+    ColumnType.CHAR: "s",
+}
+
+
+def _type_family(column_type: ColumnType) -> Optional[str]:
+    return _FAMILY_OF_TYPE.get(column_type)
+
+
+def _value_family(value: Any) -> Optional[str]:
+    if value is None:
+        return "null"  # comparisons with NULL are False, never raising
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return "n"
+    if isinstance(value, str):
+        return "s"
+    return None
+
+
+def _shape_safe(part: Expr, family_of) -> bool:
+    """Whether evaluating ``part`` can be deferred to a different row
+    set than the oracle evaluates it on: True only when evaluation can
+    never raise (columns pre-checked resolvable by the caller;
+    ``family_of`` maps a column name to its type family).  Equality and
+    membership use ``==`` (total in Python); ordering comparisons are
+    safe only within one type family."""
+    if isinstance(part, (And, Or)):
+        return all(_shape_safe(inner, family_of) for inner in part.parts)
+    if isinstance(part, Not):
+        return _shape_safe(part.inner, family_of)
+    if isinstance(part, (IsNull, InList)):
+        return isinstance(part.inner, Col)
+    if isinstance(part, PrefixMatch):
+        return True
+    if isinstance(part, Cmp):
+        if part.op in ("=", "!="):
+            return isinstance(part.left, (Col, Const)) and isinstance(
+                part.right, (Col, Const)
+            )
+        families = set()
+        for side in (part.left, part.right):
+            if isinstance(side, Col):
+                family = family_of(side.name)
+            elif isinstance(side, Const):
+                family = _value_family(side.value)
+                if family == "null":
+                    continue
+            else:
+                return False
+            if family is None:
+                return False
+            families.add(family)
+        return len(families) <= 1
+    return False
+
+
+def _eval_safe(rel: _Relation, part: Expr) -> bool:
+    """Whether ``part`` (a local conjunct of ``rel``) can be evaluated
+    lazily on probed rows instead of on every row of the relation, as
+    IndexNestedLoopJoin residuals are."""
+    columns = part.columns()
+    if any(_resolves_on(name, rel) is None for name in columns):
+        return False
+
+    def family_of(name: str) -> Optional[str]:
+        column = _resolves_on(name, rel)
+        assert column is not None
+        return _type_family(rel.table.schema.column(column).type)
+
+    return _shape_safe(part, family_of)
+
+
+def _cross_safe(part: Expr, relations: Sequence[_Relation], step: int) -> bool:
+    """Whether an ON residual can move to a different join step under
+    reordering: every column must have exactly one owner no later than
+    the condition's own step (so its value is order-independent and the
+    oracle could evaluate it), and the shape must be non-raising."""
+    owner_of: Dict[str, int] = {}
+    for name in part.columns():
+        owners = _owners(name, relations)
+        if len(owners) != 1 or owners[0] > step:
+            return False
+        owner_of[name] = owners[0]
+
+    def family_of(name: str) -> Optional[str]:
+        rel = relations[owner_of[name]]
+        column = _resolves_on(name, rel)
+        assert column is not None
+        return _type_family(rel.table.schema.column(column).type)
+
+    return _shape_safe(part, family_of)
+
+
+def _shared_names(relations: Sequence[_Relation]) -> Dict[str, List[int]]:
+    shared: Dict[str, List[int]] = {}
+    for index, rel in enumerate(relations):
+        for name in rel.table.schema.column_names:
+            shared.setdefault(name, []).append(index)
+    return {name: owners for name, owners in shared.items() if len(owners) > 1}
+
+
+def _shared_names_order_free(
+    relations: Sequence[_Relation],
+    edges: Sequence[Tuple[int, int, Expr, Expr]],
+) -> bool:
+    """Whether every shared unqualified column name yields the same
+    merged value under any join order.
+
+    A name owned by several relations is shadowed in the merged
+    environment by whichever side merged first, so reordering may only
+    proceed when the shadowing cannot matter: for each shared name, the
+    owning relations must be connected by equality edges equating *that
+    very column* (same declared type, so equal values are also
+    indistinguishable values) — then every owner agrees on the value in
+    every output row, whatever the order.  The provenance workload's
+    ``p JOIN t ON p.tid = t.tid`` is exactly this shape."""
+    for name, owners in _shared_names(relations).items():
+        adjacency: Dict[int, set] = {index: set() for index in owners}
+        column_type = None
+        types_match = True
+        for index in owners:
+            owner_type = relations[index].table.schema.column(name).type
+            if column_type is None:
+                column_type = owner_type
+            elif owner_type is not column_type:
+                types_match = False
+        if not types_match:
+            return False
+        for a, b, a_expr, b_expr in edges:
+            if a not in adjacency or b not in adjacency:
+                continue
+            if not (isinstance(a_expr, Col) and isinstance(b_expr, Col)):
+                continue
+            if (
+                _resolves_on(a_expr.name, relations[a]) == name
+                and _resolves_on(b_expr.name, relations[b]) == name
+            ):
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        seen = {owners[0]}
+        frontier = [owners[0]]
+        while frontier:
+            for peer in adjacency[frontier.pop()]:
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        if seen != set(owners):
+            return False
+    return True
+
+
+def _reorder_safe(
+    relations: Sequence[_Relation], conditions: Sequence[_JoinCondition]
+) -> bool:
+    """Whether join-order enumeration is provably invisible (see the
+    section comment).  False falls back to the written order.  A second
+    gate, :func:`_shared_names_order_free`, runs once the full edge set
+    (including WHERE-implied edges) is known."""
+    for owners in _shared_names(relations).values():
+        if any(relations[index].ref.alias is None for index in owners):
+            return False  # unaliased shared names: merge behavior is order-sensitive
+    for condition in conditions:
+        if not condition.pairs:
+            return False  # non-equi-only joins keep their written place
+        for left, right in condition.pairs:
+            left_owner = _unique_owner(left, relations)
+            right_owner = _unique_owner(right, relations)
+            if (
+                left_owner is None
+                or right_owner != condition.right
+                or left_owner >= condition.right
+            ):
+                return False
+        if condition.residual is not None:
+            for part in conjuncts(condition.residual):
+                if not _cross_safe(part, relations, condition.right):
+                    return False
+    return True
+
+
+# ---- statistics ------------------------------------------------------
+
+
+def _column_distinct(table: Table, column: str) -> float:
+    """Estimated distinct values of one column: histogram first, an
+    index over exactly that column second, square-root heuristic last."""
+    histogram = table.column_histogram(column)
+    if histogram is not None:
+        return float(histogram.distinct)
+    for spec in table.index_specs.values():
+        if spec.columns == (column,):
+            return float(max(1, table.index_stats(spec.name).keys))
+    return max(1.0, float(table.row_count) ** 0.5)
+
+
+def _conjunct_selectivity(table: Table, binding: str, part: Expr) -> float:
+    """Fraction of a relation's rows expected to survive one local
+    conjunct — only has to rank join orders, not be right."""
+    bound = column_bound(part)
+    if bound is not None:
+        column = _strip_alias(bound[0], binding)
+        if not table.schema.has_column(column):
+            return 1.0
+        if bound[1] == "=":
+            return min(1.0, 1.0 / _column_distinct(table, column))
+        histogram = table.column_histogram(column)
+        if histogram is not None:
+            pair = (bound[2], bound[1] in (">=", "<="))
+            fraction = histogram.range_fraction(
+                pair if bound[1] in (">", ">=") else None,
+                pair if bound[1] in ("<", "<=") else None,
+            )
+            if fraction is not None:
+                return fraction
+        return _BOUND_SELECTIVITY[1]
+    if isinstance(part, InList) and isinstance(part.inner, Col):
+        column = _strip_alias(part.inner.name, binding)
+        if table.schema.has_column(column):
+            return min(1.0, len(part.options) / _column_distinct(table, column))
+        return 0.5
+    if isinstance(part, PrefixMatch):
+        return _PREFIX_SELECTIVITY
+    if isinstance(part, IsNull):
+        return 0.9 if part.negated else 0.1
+    return 0.5
+
+
+def _estimate_relation_rows(table: Table, binding: str, local: List[Expr]) -> float:
+    rows = float(table.row_count)
+    selectivity = 1.0
+    for part in local:
+        selectivity *= _conjunct_selectivity(table, binding, part)
+    return min(rows, max(rows * selectivity, 0.0))
+
+
+def _pair_distinct(relations: Sequence[_Relation], pair: _Pair, right: int) -> float:
+    d_right = (
+        _column_distinct(relations[right].table, pair.right_col)
+        if pair.right_col is not None
+        else 1.0
+    )
+    d_left = d_right
+    if pair.left_owner is not None and isinstance(pair.left, Col):
+        column = _resolves_on(pair.left.name, relations[pair.left_owner])
+        if column is not None:
+            d_left = _column_distinct(relations[pair.left_owner].table, column)
+    return max(d_left, d_right)
+
+
+# ---- physical operator selection per join step -----------------------
+
+
+def _ordered_probe_safe(
+    relations: Sequence[_Relation],
+    placed: Sequence[int],
+    pair: _Pair,
+    table: Table,
+    column: str,
+) -> bool:
+    """Whether probing an *ordered* index column with this pair's left
+    values can never raise: the index column NOT NULL and orderable,
+    and every relation the left side could read from agreeing on the
+    type family (probe values bisect against stored keys)."""
+    column_spec = table.schema.column(column)
+    if column_spec.nullable:
+        return False
+    family = _type_family(column_spec.type)
+    if family is None:
+        return False
+    if not isinstance(pair.left, Col):
+        return False
+    owners = (
+        [pair.left_owner]
+        if pair.left_owner is not None
+        else [
+            index
+            for index in placed
+            if _resolves_on(pair.left.name, relations[index]) is not None
+        ]
+    )
+    if not owners:
+        return False
+    for index in owners:
+        left_column = _resolves_on(pair.left.name, relations[index])
+        if left_column is None:
+            return False
+        left_family = _type_family(relations[index].table.schema.column(left_column).type)
+        if left_family != family:
+            return False
+    return True
+
+
+def _pair_filter_safe(
+    pair: _Pair, relations: Sequence[_Relation], placed: Sequence[int], right: int
+) -> bool:
+    """Whether an uncovered pair may be checked as an equality filter
+    above the join: both sides must resolve to exactly one relation (so
+    the merged environment cannot shadow either side)."""
+    left_owner = _unique_owner(pair.left, relations)
+    right_owner = _unique_owner(pair.right, relations)
+    return left_owner in placed and right_owner == right
+
+
+def _best_inlj(
+    relations: Sequence[_Relation],
+    placed: Sequence[int],
+    placed_est: float,
+    right: int,
+    pairs: List[_Pair],
+) -> Optional[_InljPlan]:
+    """The cheapest IndexNestedLoopJoin candidate for this step, or
+    ``None`` when no index of the joined table can serve the equality
+    pairs safely (see the safety helpers above — the local conjuncts it
+    would defer must be non-raising, probe families must match, and
+    uncovered pairs must be filterable without ambiguity)."""
+    rel = relations[right]
+    table = rel.table
+    if not pairs:
+        return None
+    if not all(_eval_safe(rel, part) for part in rel.local):
+        return None
+    by_col: Dict[str, _Pair] = {}
+    for pair in pairs:
+        if pair.right_col is not None and pair.right_col not in by_col:
+            by_col[pair.right_col] = pair
+    if not by_col:
+        return None
+    rows = float(table.row_count)
+    intervals = _analyze_intervals(rel.local, rel.binding)
+    best: Optional[_InljPlan] = None
+    for name, spec in table.index_specs.items():
+        tail_low: Optional[Tuple[Any, bool]] = None
+        tail_high: Optional[Tuple[Any, bool]] = None
+        tail_sources: set = set()
+        fraction = 1.0
+        if spec.ordered:
+            eq_len = 0
+            while eq_len < len(spec.columns):
+                pair = by_col.get(spec.columns[eq_len])
+                if pair is None or not _ordered_probe_safe(
+                    relations, placed, pair, table, spec.columns[eq_len]
+                ):
+                    break
+                eq_len += 1
+            if eq_len == 0:
+                continue
+            covered = [by_col[column] for column in spec.columns[:eq_len]]
+            if eq_len < len(spec.columns):
+                interval = intervals.get(spec.columns[eq_len])
+                if interval is not None:
+                    values = [p[0] for p in (interval.low, interval.high) if p]
+                    if _bound_safe(table, spec.columns[eq_len], values):
+                        tail_low, tail_high = interval.low, interval.high
+                        tail_sources = set(map(id, interval.sources))
+                        histogram = table.column_histogram(spec.columns[eq_len])
+                        tail_fraction = (
+                            histogram.range_fraction(tail_low, tail_high)
+                            if histogram is not None
+                            else None
+                        )
+                        if tail_fraction is None:
+                            tail_fraction = _BOUND_SELECTIVITY[
+                                int(tail_low is not None) + int(tail_high is not None)
+                            ]
+                        fraction = tail_fraction
+            row_cost = _ORDERED_ROW_COST
+        else:
+            if not all(column in by_col for column in spec.columns):
+                continue
+            covered = [by_col[column] for column in spec.columns]
+            row_cost = _HASH_ROW_COST
+        covered_ids = {id(pair) for pair in covered}
+        uncovered = [pair for pair in pairs if id(pair) not in covered_ids]
+        if any(
+            not _pair_filter_safe(pair, relations, placed, right) for pair in uncovered
+        ):
+            continue
+        selectivity = 1.0
+        for pair in covered:
+            selectivity /= max(_pair_distinct(relations, pair, right), 1.0)
+        fetched = placed_est * rows * selectivity * fraction
+        cost = placed_est * (1.0 + _PROBE_COST) + fetched * row_cost
+        if best is None or cost < best.cost:
+            residual = _and_all(
+                [part for part in rel.local if id(part) not in tail_sources]
+            )
+            left_exprs = tuple(pair.left for pair in covered)
+            best = _InljPlan(
+                name, left_exprs, uncovered, residual, tail_low, tail_high, cost
+            )
+    return best
+
+
+def _plan_join_step(
+    relations: Sequence[_Relation],
+    placed: Sequence[int],
+    placed_est: float,
+    right: int,
+    pairs: List[_Pair],
+) -> _StepPlan:
+    """Cost the physical alternatives for joining ``right`` into the
+    accumulated plan and keep the cheapest."""
+    rel = relations[right]
+    if not pairs:
+        out = placed_est * rel.est * 0.5
+        return _StepPlan("nlj", placed_est * max(rel.est, 1.0), out, pairs)
+    selectivity = 1.0
+    for pair in pairs:
+        selectivity /= max(_pair_distinct(relations, pair, right), 1.0)
+    out = placed_est * rel.est * selectivity
+    build = min(placed_est, rel.est)
+    probe = max(placed_est, rel.est)
+    hash_cost = _HASH_BUILD_COST * build + probe + out
+    # Swapping the build side also swaps which input is *evaluated*
+    # first; that is only invisible when the right side's filters
+    # cannot raise (else the oracle, which always builds right first,
+    # could surface a different error type).
+    build_left = placed_est < rel.est and all(
+        _eval_safe(rel, part) for part in rel.local
+    )
+    step = _StepPlan("hash", hash_cost, out, pairs, build_left=build_left)
+    inlj = _best_inlj(relations, placed, placed_est, right, pairs)
+    if inlj is not None and inlj.cost < hash_cost:
+        step = _StepPlan("inlj", inlj.cost, out, pairs, inlj=inlj)
+    return step
+
+
+# ---- join-order enumeration ------------------------------------------
+
+
+def _pairs_between(
+    relations: Sequence[_Relation],
+    placed: Sequence[int],
+    right: int,
+    edges: Sequence[Tuple[int, int, Expr, Expr]],
+) -> List[_Pair]:
+    placed_set = set(placed)
+    pairs: List[_Pair] = []
+    for a, b, a_expr, b_expr in edges:
+        if b == right and a in placed_set:
+            left, right_expr, owner = a_expr, b_expr, a
+        elif a == right and b in placed_set:
+            left, right_expr, owner = b_expr, a_expr, b
+        else:
+            continue
+        right_col = (
+            _resolves_on(right_expr.name, relations[right])
+            if isinstance(right_expr, Col)
+            else None
+        )
+        pairs.append(_Pair(left, right_expr, owner, right_col))
+    return pairs
+
+
+def _enumerate_join_order(
+    relations: Sequence[_Relation], edges: Sequence[Tuple[int, int, Expr, Expr]]
+) -> List[int]:
+    """Pick a left-deep join order: exhaustive DP over subsets for small
+    queries, greedy smallest-estimated-intermediate beyond.  The edge
+    set is connected (every ON clause links its table to an earlier
+    one), so cross products never arise."""
+    n = len(relations)
+
+    def connects(mask: int, j: int) -> bool:
+        return any(
+            (a == j and (mask >> b) & 1) or (b == j and (mask >> a) & 1)
+            for a, b, _ae, _be in edges
+        )
+
+    if n <= _DP_RELATIONS:
+        best: Dict[int, Tuple[float, float, Tuple[int, ...]]] = {
+            1 << i: (relations[i].est, relations[i].est, (i,)) for i in range(n)
+        }
+        full = (1 << n) - 1
+        for mask in range(1, full):
+            entry = best.get(mask)
+            if entry is None:
+                continue
+            cost, est, order = entry
+            for j in range(n):
+                if (mask >> j) & 1 or not connects(mask, j):
+                    continue
+                pairs = _pairs_between(relations, order, j, edges)
+                step = _plan_join_step(relations, order, est, j, pairs)
+                candidate = (cost + step.cost, step.out, order + (j,))
+                key = mask | (1 << j)
+                existing = best.get(key)
+                if existing is None or (candidate[0], candidate[2]) < (
+                    existing[0],
+                    existing[2],
+                ):
+                    best[key] = candidate
+        return list(best[full][2])
+
+    start = min(range(n), key=lambda i: (relations[i].est, i))
+    order = [start]
+    mask = 1 << start
+    est = relations[start].est
+    while len(order) < n:
+        chosen: Optional[Tuple[float, float, int]] = None
+        for j in range(n):
+            if (mask >> j) & 1 or not connects(mask, j):
+                continue
+            pairs = _pairs_between(relations, order, j, edges)
+            step = _plan_join_step(relations, order, est, j, pairs)
+            key = (step.out, step.cost, j)
+            if chosen is None or key < chosen:
+                chosen = key
+        assert chosen is not None  # the graph is connected by construction
+        order.append(chosen[2])
+        mask |= 1 << chosen[2]
+        est = chosen[0]
+    return order
+
+
+# ---- plan assembly ---------------------------------------------------
+
+
+def _access_with_filter(rel: _Relation) -> Tuple[PlanNode, bool]:
+    node, leftover, _order = _choose_access_path(
+        rel.table, rel.binding, rel.ref.alias, rel.local
+    )
+    result: PlanNode = node
+    if leftover:
+        result = FilterNode(result, _and_all(leftover))
+    return result, not leftover
+
+
+def _assemble_joins(
+    relations: Sequence[_Relation],
+    first: int,
+    steps: Sequence[Tuple[int, List[_Pair], List[Expr], Optional[Expr]]],
+) -> PlanNode:
+    """Build the physical join tree: ``steps`` lists, per join, the new
+    relation, its equality pairs, the filters to apply once the join's
+    bindings are all present, and (for pair-less steps) the nested-loop
+    predicate."""
+    node, _clean = _access_with_filter(relations[first])
+    placed: List[int] = [first]
+    placed_est = relations[first].est
+    for right, pairs, post_filters, nlj_predicate in steps:
+        rel = relations[right]
+        step = _plan_join_step(relations, placed, placed_est, right, pairs)
+        if step.op == "inlj":
+            plan = step.inlj
+            assert plan is not None
+            node = IndexNestedLoopJoin(
+                node,
+                rel.table,
+                plan.index_name,
+                plan.left_exprs,
+                rel.ref.alias,
+                plan.residual,
+                plan.tail_low,
+                plan.tail_high,
+            )
+            node.est_rows = step.out
+            for pair in plan.uncovered:
+                node = FilterNode(node, Cmp("=", pair.left, pair.right))
+        elif step.op == "hash":
+            right_node, _clean = _access_with_filter(rel)
+            node = HashJoinNode(
+                node,
+                right_node,
+                tuple(pair.left for pair in pairs),
+                tuple(pair.right for pair in pairs),
+                build_left=step.build_left,
+            )
+            node.est_rows = step.out
+        else:
+            right_node, _clean = _access_with_filter(rel)
+            node = NestedLoopJoinNode(node, right_node, nlj_predicate)
+            node.est_rows = step.out
+        for part in post_filters:
+            node = FilterNode(node, part)
+        placed.append(right)
+        placed_est = step.out
+    return node
+
+
+def _plan_joins(
+    relations: List[_Relation],
+    conditions: List[_JoinCondition],
+    residual: Optional[Expr],
+) -> Tuple[PlanNode, Optional[Expr]]:
+    """The cost-based join path; returns the join tree and whatever
+    WHERE residual was not absorbed as join edges."""
+    for rel in relations:
+        rel.est = _estimate_relation_rows(rel.table, rel.binding, rel.local)
+
+    if _reorder_safe(relations, conditions):
+        edges: List[Tuple[int, int, Expr, Expr]] = []
+        on_filters: List[Tuple[frozenset, Expr]] = []
+        for condition in conditions:
+            for left, right in condition.pairs:
+                owner = _unique_owner(left, relations)
+                assert owner is not None  # _reorder_safe checked
+                edges.append((owner, condition.right, left, right))
+            if condition.residual is not None:
+                for part in conjuncts(condition.residual):
+                    owners = frozenset(
+                        _owners(name, relations)[0] for name in part.columns()
+                    )
+                    on_filters.append((owners or frozenset({condition.right}), part))
+        # WHERE-implied edges: cross-binding equality conjuncts with
+        # uniquely attributable sides join the graph
+        residual_parts: List[Expr] = []
+        for part in conjuncts(residual) if residual is not None else ():
+            if (
+                isinstance(part, Cmp)
+                and part.op == "="
+                and isinstance(part.left, Col)
+                and isinstance(part.right, Col)
+            ):
+                left_owner = _unique_owner(part.left, relations)
+                right_owner = _unique_owner(part.right, relations)
+                if (
+                    left_owner is not None
+                    and right_owner is not None
+                    and left_owner != right_owner
+                ):
+                    a, b = sorted((left_owner, right_owner))
+                    if left_owner == a:
+                        edges.append((a, b, part.left, part.right))
+                    else:
+                        edges.append((a, b, part.right, part.left))
+                    continue
+            residual_parts.append(part)
+
+        if _shared_names_order_free(relations, edges):
+            residual = _and_all(residual_parts)
+            order = _enumerate_join_order(relations, edges)
+            steps: List[Tuple[int, List[_Pair], List[Expr], Optional[Expr]]] = []
+            placed: List[int] = [order[0]]
+            pending = list(on_filters)
+            for right in order[1:]:
+                pairs = _pairs_between(relations, placed, right, edges)
+                placed.append(right)
+                available = set(placed)
+                ready = [part for owners, part in pending if owners <= available]
+                pending = [
+                    (owners, part)
+                    for owners, part in pending
+                    if not owners <= available
+                ]
+                steps.append((right, pairs, ready, None))
+            return _assemble_joins(relations, order[0], steps), residual
+
+    # Written order, physical selection still on where provably safe.
+    steps = []
+    for condition in conditions:
+        rel = relations[condition.right]
+        pairs = [
+            _Pair(
+                left,
+                right,
+                _unique_owner(left, relations),
+                _resolves_on(right.name, rel) if isinstance(right, Col) else None,
+            )
+            for left, right in condition.pairs
+        ]
+        if pairs:
+            post = list(conjuncts(condition.residual)) if condition.residual else []
+            steps.append((condition.right, pairs, post, None))
+        else:
+            steps.append((condition.right, pairs, [], condition.residual))
+    return _assemble_joins(relations, 0, steps), residual
+
+
+def _naive_join_plan(
+    relations: Sequence[_Relation], conditions: Sequence[_JoinCondition]
+) -> PlanNode:
+    """The forced seq-scan/hash-join oracle: written order, SeqScan per
+    table with its local filter, one hash join (or nested loop, for
+    pair-less joins) per step."""
+    first = relations[0]
+    node: PlanNode = SeqScan(first.table, first.ref.alias)
+    if first.local:
+        node = FilterNode(node, _and_all(first.local))
+    for condition in conditions:
+        rel = relations[condition.right]
+        right_node: PlanNode = SeqScan(rel.table, rel.ref.alias)
+        if rel.local:
+            right_node = FilterNode(right_node, _and_all(rel.local))
+        if condition.pairs:
+            node = HashJoinNode(
+                node,
+                right_node,
+                tuple(left for left, _right in condition.pairs),
+                tuple(right for _left, right in condition.pairs),
+            )
+            if condition.residual is not None:
+                node = FilterNode(node, condition.residual)
+        else:
+            node = NestedLoopJoinNode(node, right_node, condition.residual)
+    return node
 
 
 # ----------------------------------------------------------------------
@@ -812,10 +1730,11 @@ def plan_query(
     """Compile a logical query to a physical plan.
 
     ``naive=True`` disables every planner rule: each table access is a
-    forced ``SeqScan`` with all pushable conjuncts in ``FilterNode``s and
-    ORDER BY always realized by a ``SortNode`` — the seed planner's
-    behavior, kept as the oracle for differential plan-equivalence
-    testing and the baseline for planner benchmarks.
+    forced ``SeqScan`` with all pushable conjuncts in ``FilterNode``s,
+    joins stay left-deep hash joins in written order, and ORDER BY is
+    always realized by a ``SortNode`` — the seed planner's behavior,
+    kept as the oracle for differential plan-equivalence testing and
+    the baseline for planner benchmarks.
     """
 
     def get_table(ref: TableRef) -> Table:
@@ -826,35 +1745,35 @@ def plan_query(
 
     base_table = get_table(query.table)
     local, residual = _split_predicate_for(query.table.binding, base_table, query.where)
-    if naive:
-        node: PlanNode = SeqScan(base_table, query.table.alias)
-        leftover, order_satisfied = local, False
-    else:
-        order_spec = _order_columns(query, query.table.binding, base_table)
-        node, leftover, order_satisfied = _choose_access_path(
-            base_table, query.table.binding, query.table.alias, local, order_spec
-        )
-    if leftover:
-        node = FilterNode(node, And(*leftover) if len(leftover) > 1 else leftover[0])
-
-    for join in query.joins:
-        right_table = get_table(join.table)
-        right_local, residual = _split_predicate_for(
-            join.table.binding, right_table, residual
-        )
+    if not query.joins:
+        order_satisfied = False
         if naive:
-            right_node: PlanNode = SeqScan(right_table, join.table.alias)
-            right_leftover = right_local
+            node: PlanNode = SeqScan(base_table, query.table.alias)
+            leftover = local
         else:
-            right_node, right_leftover, _ = _choose_access_path(
-                right_table, join.table.binding, join.table.alias, right_local
+            order_spec = _order_columns(query, query.table.binding, base_table)
+            node, leftover, order_satisfied = _choose_access_path(
+                base_table, query.table.binding, query.table.alias, local, order_spec
             )
-        if right_leftover:
-            right_node = FilterNode(
-                right_node,
-                And(*right_leftover) if len(right_leftover) > 1 else right_leftover[0],
+        if leftover:
+            node = FilterNode(node, And(*leftover) if len(leftover) > 1 else leftover[0])
+    else:
+        order_satisfied = False
+        relations = [_Relation(query.table, base_table, local)]
+        for join in query.joins:
+            right_table = get_table(join.table)
+            right_local, residual = _split_predicate_for(
+                join.table.binding, right_table, residual
             )
-        node = HashJoinNode(node, right_node, join.left_key, join.right_key)
+            relations.append(_Relation(join.table, right_table, right_local))
+        conditions = [
+            _normalize_condition(spec, index + 1, relations)
+            for index, spec in enumerate(query.joins)
+        ]
+        if naive:
+            node = _naive_join_plan(relations, conditions)
+        else:
+            node, residual = _plan_joins(relations, conditions, residual)
 
     if residual is not None:
         node = FilterNode(node, residual)

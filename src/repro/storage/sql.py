@@ -7,7 +7,7 @@ Supported statements::
     DROP TABLE t
     INSERT INTO t [(cols)] VALUES (lits), (lits), ...
     SELECT [DISTINCT] cols|*|aggs FROM t [alias]
-        [JOIN t2 [alias] ON a = b]...
+        [JOIN t2 [alias] ON a.x = b.x [AND a.y = b.y | AND a.y < b.y]...]...
         [WHERE predicate] [GROUP BY cols] [HAVING predicate]
         [ORDER BY col [ASC|DESC], ...] [LIMIT n [OFFSET m]]
     DELETE FROM t [WHERE predicate]
@@ -450,10 +450,7 @@ def _parse_select(parser: _Parser) -> Query:
     while parser.accept_word("join"):
         join_table = TableRef(parser.identifier(), _maybe_alias(parser))
         parser.expect_word("on")
-        left_col = Col(parser.column_ref())
-        parser.expect_op("=")
-        right_col = Col(parser.column_ref())
-        joins.append(JoinSpec(join_table, left_col, right_col))
+        joins.append(_parse_join_on(parser, join_table))
     where = parser.predicate() if parser.accept_word("where") else None
     group_by: List[Tuple[str, Expr]] = []
     if parser.accept_word("group"):
@@ -514,6 +511,56 @@ def _parse_select(parser: _Parser) -> Query:
         having=having,
         distinct=distinct,
     )
+
+
+_ON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+def _parse_join_on(parser: _Parser, join_table: TableRef) -> JoinSpec:
+    """The ON clause: AND-ed comparison conjuncts.
+
+    Column-equality conjuncts (``a.x = b.x``, in either operand order —
+    the planner normalizes sides by binding) become the join's equality
+    pairs; any other comparison (non-equi operators, or a literal
+    operand) stays a join residual evaluated over the joined row.  At
+    least one conjunct is required.
+    """
+    pairs: List[Tuple[Col, Col]] = []
+    residuals: List[Expr] = []
+    while True:
+        left = Col(parser.column_ref())
+        token = parser.next()
+        if token.kind != "op" or token.text not in _ON_OPS:
+            raise SQLError(f"expected a comparison in ON, got {token.text!r}")
+        op = "!=" if token.text == "<>" else token.text
+        right_token = parser.peek()
+        right: Expr
+        if (
+            right_token is not None
+            and right_token.kind == "word"
+            and right_token.text.lower() not in _KEYWORDS
+        ):
+            right = Col(parser.column_ref())
+        else:
+            right = Const(parser.literal())
+        if op == "=" and isinstance(right, Col):
+            pairs.append((left, right))
+        else:
+            residuals.append(Cmp(op, left, right))
+        if not parser.accept_word("and"):
+            break
+    residual: Optional[Expr]
+    if not residuals:
+        residual = None
+    elif len(residuals) == 1:
+        residual = residuals[0]
+    else:
+        residual = And(*residuals)
+    if pairs:
+        return JoinSpec(
+            join_table, pairs[0][0], pairs[0][1], tuple(pairs[1:]), residual
+        )
+    return JoinSpec(join_table, None, None, (), residual)
 
 
 def _maybe_alias(parser: _Parser) -> Optional[str]:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from heapq import merge
 from typing import (
     Any,
@@ -19,8 +20,9 @@ from typing import (
 from .errors import ConstraintError, DuplicateKeyError, SchemaError
 from .index import HashIndex, KeyRange, OrderedIndex
 from .schema import IndexSpec, TableSchema
+from .types import ColumnType
 
-__all__ = ["Table", "IndexStats"]
+__all__ = ["Table", "IndexStats", "Histogram"]
 
 Row = Tuple[Any, ...]
 
@@ -34,6 +36,100 @@ class IndexStats(NamedTuple):
     #: distinct keys — exact for hash indexes, a bounded-sample estimate
     #: for ordered ones (see ``OrderedIndex.key_count``)
     keys: int
+
+
+#: Histogram sampling knobs: a histogram is built from at most
+#: ``HISTOGRAM_SAMPLE`` values (an even stride over an ordered index's
+#: entries, or over the heap) sliced into at most ``HISTOGRAM_BINS``
+#: equi-depth bins.  Both bound the *planning-time* cost of statistics:
+#: one build touches ≤ 512 values however large the table, and the
+#: result is cached until the table's mutation counter moves.
+HISTOGRAM_SAMPLE = 512
+HISTOGRAM_BINS = 32
+
+#: column type families whose values sort, i.e. can carry a histogram
+_HISTOGRAM_TYPES = (
+    ColumnType.INT,
+    ColumnType.REAL,
+    ColumnType.TEXT,
+    ColumnType.CHAR,
+)
+
+
+class Histogram:
+    """Equi-depth histogram over one column's non-NULL values.
+
+    ``bounds`` holds ``bins + 1`` sorted bin edges taken at quantiles of
+    a bounded sample, so every bin covers (approximately) the same
+    number of rows — equi-depth rather than equi-width, which keeps the
+    estimate honest under skew and works for TEXT as well as numbers.
+    The planner reads two things from it:
+
+    * :meth:`range_fraction` — the fraction of rows inside an interval,
+      feeding the range-bound tightness factors of the access-path cost
+      model (replacing the fixed 0.4/0.15 guesses when a histogram
+      exists);
+    * :attr:`distinct` — the extrapolated distinct-value count, feeding
+      equi-join selectivity (``1 / max(distinct(left), distinct(right))``).
+
+    A statistic, not an oracle: it only has to *rank* plans.
+    """
+
+    __slots__ = ("rows", "nulls", "distinct", "bounds")
+
+    def __init__(self, rows: int, nulls: int, distinct: int, bounds: List[Any]) -> None:
+        self.rows = rows          # non-NULL row count the sample represents
+        self.nulls = nulls
+        self.distinct = max(1, distinct)
+        self.bounds = bounds      # len == bins + 1, sorted
+
+    @classmethod
+    def from_sample(
+        cls, sample: List[Any], rows: int, nulls: int = 0
+    ) -> "Optional[Histogram]":
+        """Build from an already *sorted* non-NULL sample representing
+        ``rows`` non-NULL rows; ``None`` when the sample is empty."""
+        if not sample or rows <= 0:
+            return None
+        sample_distinct = 1 + sum(
+            1 for a, b in zip(sample, sample[1:]) if a != b
+        )
+        distinct = max(1, round(rows * sample_distinct / len(sample)))
+        bins = max(1, min(HISTOGRAM_BINS, sample_distinct))
+        last = len(sample) - 1
+        bounds = [sample[min(last, (i * len(sample)) // bins)] for i in range(bins)]
+        bounds.append(sample[last])
+        return cls(rows, nulls, distinct, bounds)
+
+    @property
+    def bins(self) -> int:
+        return len(self.bounds) - 1
+
+    def _position(self, value: Any) -> float:
+        """The value's bin-granularity position in ``[0, bins]``."""
+        left = bisect_left(self.bounds, value)
+        right = bisect_right(self.bounds, value)
+        return min(float(self.bins), max(0.0, (left + right) / 2.0 - 0.5))
+
+    def range_fraction(
+        self,
+        low: Optional[Tuple[Any, bool]],
+        high: Optional[Tuple[Any, bool]],
+    ) -> Optional[float]:
+        """Estimated fraction of non-NULL rows with value in the
+        interval; ``low``/``high`` are ``(value, inclusive)`` or ``None``
+        (open), as in the planner's interval analysis.  Resolution is
+        one bin (inclusivity is below it); incomparable bound types
+        return ``None`` and the caller falls back to fixed factors."""
+        try:
+            low_pos = 0.0 if low is None else self._position(low[0])
+            high_pos = float(self.bins) if high is None else self._position(high[0])
+        except TypeError:
+            return None
+        width = (high_pos - low_pos) / self.bins
+        # floor at half a bin: a sampled histogram saying "empty" must
+        # not zero-cost a plan over a range that may well hold rows
+        return min(1.0, max(width, 0.5 / self.bins))
 
 
 #: ``bulk_insert`` rebuilds a populated ordered index by sorted merge
@@ -118,16 +214,25 @@ class Table:
         self._indexes: Dict[str, Union[HashIndex, OrderedIndex]] = {}
         self._index_specs: Dict[str, IndexSpec] = {}
         self._max_stats: Dict[str, Tuple[int, _MaxStat]] = {}
+        #: monotone mutation counter — cache key for planner statistics
+        #: (histograms) that must notice updates-in-place, which leave
+        #: ``row_count`` unchanged
+        self._version = 0
+        self._histograms: Dict[str, Tuple[int, Optional[Histogram]]] = {}
         #: per-access-path call counters (one increment per *scan*, not
         #: per row) — instrumentation for tests asserting e.g. that a
         #: batched probe really issues one index pass, and for the
-        #: charged-cost vs wall-time split in the provenance harness
+        #: charged-cost vs wall-time split in the provenance harness.
+        #: ``inlj_probe`` counts physical probe batches issued by
+        #: ``IndexNestedLoopJoin`` against this table (one per chunk),
+        #: extending the one-pass assertions to join probes.
         self.access_counts: Dict[str, int] = {
             "scan": 0,
             "eq_lookup": 0,
             "prefix_scan": 0,
             "range_scan": 0,
             "multi_range_scan": 0,
+            "inlj_probe": 0,
         }
         for spec in schema.indexes:
             self.create_index(spec)
@@ -214,12 +319,65 @@ class Table:
         return stat.value()
 
     def _stats_add(self, row: Row) -> None:
+        self._version += 1
         for position, stat in self._max_stats.values():
             stat.add(row[position])
 
     def _stats_remove(self, row: Row) -> None:
+        self._version += 1
         for position, stat in self._max_stats.values():
             stat.remove(row[position])
+
+    def column_histogram(self, column: str) -> Optional[Histogram]:
+        """A lazily built, cached equi-depth :class:`Histogram` for one
+        column; ``None`` for non-orderable types, unknown columns, or
+        empty tables.
+
+        Built on first request and cached against the table's mutation
+        counter, so a read-mostly table samples once however often the
+        planner asks.  The sample comes from an ordered index whose
+        *leading* column matches (already sorted — see
+        :meth:`OrderedIndex.sample_keys`) when one exists, else from an
+        even stride over the heap.  Sampling knobs:
+        ``HISTOGRAM_SAMPLE`` values, ``HISTOGRAM_BINS`` bins.
+        """
+        cached = self._histograms.get(column)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        histogram = self._build_histogram(column)
+        self._histograms[column] = (self._version, histogram)
+        return histogram
+
+    def _build_histogram(self, column: str) -> Optional[Histogram]:
+        if not self.schema.has_column(column):
+            return None
+        if self.schema.column(column).type not in _HISTOGRAM_TYPES:
+            return None
+        total = len(self._rows)
+        if total == 0:
+            return None
+        for name, spec in self._index_specs.items():
+            index = self._indexes[name]
+            if spec.ordered and spec.columns[0] == column and isinstance(index, OrderedIndex):
+                # entries already sorted by this column; NULLs cannot
+                # live in an ordered index (they do not compare)
+                sample = index.sample_keys(HISTOGRAM_SAMPLE)
+                return Histogram.from_sample(sample, total)
+        position = self.schema.column_index(column)
+        step = max(1, -(-total // HISTOGRAM_SAMPLE))  # ceil: ≤ SAMPLE rows
+        sample = [
+            row[position]
+            for offset, row in enumerate(self._rows.values())
+            if offset % step == 0
+        ]
+        picked = len(sample)
+        sample = [value for value in sample if value is not None]
+        if picked == 0 or not sample:
+            return None
+        null_fraction = 1.0 - len(sample) / picked
+        nulls = round(total * null_fraction)
+        sample.sort()
+        return Histogram.from_sample(sample, max(1, total - nulls), nulls)
 
     # ------------------------------------------------------------------
     # Mutations
@@ -425,6 +583,7 @@ class Table:
 
     def clear(self) -> None:
         self._rows.clear()
+        self._version += 1
         self._byte_size = 0
         self._rows_ordered = True
         self._max_seen_rowid = 0

@@ -27,16 +27,19 @@ import os
 from collections import Counter
 from typing import Any, Dict, List, Optional, Tuple
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.storage import (
+    AmbiguousColumnError,
     And,
     Cmp,
     Col,
     Const,
     Database,
     InList,
+    JoinSpec,
     Or,
     PrefixMatch,
     Query,
@@ -239,6 +242,172 @@ def queries(draw) -> Query:
         outputs = [("q", Col(draw(st.sampled_from(COLUMNS)))), ("s", Col("s"))]
     return Query(
         TableRef("t"),
+        where=where,
+        outputs=outputs,
+        order_by=order_by,
+        limit=limit,
+        offset=offset,
+        distinct=distinct,
+    )
+
+
+# ----------------------------------------------------------------------
+# Join strategies: 2–3 tables, random join graphs
+# ----------------------------------------------------------------------
+
+_U_INDEX_POOL = [
+    IndexSpec("u_a_hash", ("a",)),
+    IndexSpec("u_a", ("a",), ordered=True),
+    IndexSpec("u_ac", ("a", "c"), ordered=True),
+    IndexSpec("u_c_hash", ("c",)),
+]
+_V_INDEX_POOL = [
+    IndexSpec("v_b", ("b",), ordered=True),
+    IndexSpec("v_d_hash", ("d",)),
+]
+
+
+def _u_schema(indexes: Tuple[IndexSpec, ...]) -> TableSchema:
+    return TableSchema(
+        "u",
+        [
+            Column("a", ColumnType.INT, nullable=False),
+            Column("c", ColumnType.INT, nullable=False),
+        ],
+        indexes=indexes,
+    )
+
+
+def _v_schema(indexes: Tuple[IndexSpec, ...]) -> TableSchema:
+    return TableSchema(
+        "v",
+        [
+            Column("b", ColumnType.INT, nullable=False),
+            Column("d", ColumnType.INT, nullable=False),
+        ],
+        indexes=indexes,
+    )
+
+
+@st.composite
+def join_databases(draw) -> Database:
+    db = Database("joined")
+    t = db.create_table(
+        _schema(tuple(spec for spec in _INDEX_POOL if draw(st.booleans())))
+    )
+    for row in draw(
+        st.lists(
+            st.tuples(
+                _small_ints,
+                _small_ints,
+                st.sampled_from(S_VALUES),
+                st.one_of(st.none(), _small_ints),
+            ),
+            max_size=15,
+        )
+    ):
+        t.insert(row)
+    u = db.create_table(
+        _u_schema(tuple(spec for spec in _U_INDEX_POOL if draw(st.booleans())))
+    )
+    for row in draw(
+        st.lists(st.tuples(_small_ints, _small_ints), max_size=12)
+    ):
+        u.insert(row)
+    v = db.create_table(
+        _v_schema(tuple(spec for spec in _V_INDEX_POOL if draw(st.booleans())))
+    )
+    for row in draw(
+        st.lists(st.tuples(_small_ints, _small_ints), max_size=12)
+    ):
+        v.insert(row)
+    return db
+
+
+_U_EDGES = [
+    (Col("p.a"), Col("q.a")),
+    (Col("p.b"), Col("q.c")),
+    (Col("p.a"), Col("q.c")),
+]
+_V_EDGES = [
+    (Col("p.b"), Col("r.b")),
+    (Col("q.c"), Col("r.d")),
+]
+
+
+@st.composite
+def join_queries(draw) -> Query:
+    """Random 2–3-table join queries over the t/u/v trio: reversed ON
+    operand order, multi-conjunct ON, edges moved into WHERE, non-equi
+    ON residuals, qualified local predicates, DISTINCT, ORDER BY, and
+    total-order LIMIT/OFFSET windows."""
+
+    def oriented(pair):
+        left, right = pair
+        return (right, left) if draw(st.booleans()) else (left, right)
+
+    where_parts = []
+    use_v = draw(st.booleans())
+    first = oriented(draw(st.sampled_from(_U_EDGES)))
+    extra: Tuple = ()
+    if draw(st.integers(0, 2)) == 0:
+        extra = (oriented(draw(st.sampled_from(_U_EDGES))),)
+    on_residual = None
+    if draw(st.integers(0, 3)) == 0:
+        on_residual = Cmp(
+            draw(st.sampled_from(["<", "<=", ">", ">="])), Col("p.a"), Col("q.c")
+        )
+    joins = [JoinSpec(TableRef("u", "q"), first[0], first[1], extra, on_residual)]
+    if use_v:
+        v_pair = oriented(draw(st.sampled_from(_V_EDGES)))
+        if draw(st.integers(0, 2)) == 0:
+            # the drawn edge moves into WHERE; ON keeps a baseline pair
+            joins.append(JoinSpec(TableRef("v", "r"), Col("p.b"), Col("r.b")))
+            where_parts.append(Cmp("=", v_pair[0], v_pair[1]))
+        else:
+            joins.append(JoinSpec(TableRef("v", "r"), v_pair[0], v_pair[1]))
+    columns = ["p.a", "p.b", "p.s", "p.x", "q.a", "q.c"]
+    if use_v:
+        columns += ["r.b", "r.d"]
+    for qualified in ("p.a", "p.s", "q.c", "r.d" if use_v else "q.a"):
+        if draw(st.integers(0, 2)) == 0:
+            base_column = qualified.split(".")[1]
+            op = draw(st.sampled_from(["=", "<", "<=", ">", ">=", "!="]))
+            where_parts.append(
+                Cmp(op, Col(qualified), Const(draw(_const_strategy(base_column))))
+            )
+    where = None
+    if len(where_parts) == 1:
+        where = where_parts[0]
+    elif where_parts:
+        where = And(*where_parts)
+    distinct = draw(st.booleans())
+    windowed = draw(st.integers(0, 3)) == 0
+    limit = None
+    offset = 0
+    if windowed:
+        order_by = [(Col(c), draw(st.booleans())) for c in draw(st.permutations(columns))]
+        limit = draw(st.one_of(st.none(), st.integers(0, 8)))
+        offset = draw(st.integers(0, 4))
+        if limit is None and offset == 0:
+            limit = 4
+    else:
+        count = draw(st.integers(0, 2))
+        order_by = [
+            (Col(c), draw(st.booleans()))
+            for c in draw(st.permutations(columns))[:count]
+        ]
+    outputs = None
+    shape = draw(st.integers(0, 2))
+    if shape == 1:
+        outputs = [(c, Col(c)) for c in columns]
+    elif shape == 2:
+        outputs = [(c, Col(c)) for c in columns if draw(st.booleans())] or [
+            ("p.a", Col("p.a"))
+        ]
+    return Query(
+        TableRef("t", "p"),
+        joins=joins,
         where=where,
         outputs=outputs,
         order_by=order_by,
@@ -633,6 +802,213 @@ class TestDisjunctionRegressions:
         db = self._db(IndexSpec("ix_a", ("a",), ordered=True))
         query = Query(TableRef("t"), where=InList(Col("a"), (None,)))
         assert list(plan_query(db.tables, query).execute()) == []
+        assert_plan_equivalent(db, query)
+
+
+class TestDifferentialJoinEquivalence:
+    """2–3-table join strategies vs the naive left-deep hash-join
+    oracle: random join graphs (reversed ON operand order,
+    multi-conjunct ON, WHERE-implied edges, non-equi ON residuals),
+    random index subsets per table, DISTINCT/ORDER BY/LIMIT over the
+    join — the cost-based join order, operator choice (index nested
+    loop vs hash), and build-side selection must all be invisible."""
+
+    @given(db=join_databases(), query=join_queries())
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        **_PROFILE,
+    )
+    def test_join_queries_match_oracle(self, db: Database, query: Query) -> None:
+        assert_plan_equivalent(db, query)
+
+
+class TestJoinRegressions:
+    """Deterministic join shapes worth pinning."""
+
+    def _db(self) -> Database:
+        db = Database("joins")
+        t = db.create_table(
+            _schema(
+                (
+                    IndexSpec("ix_a", ("a",), ordered=True),
+                    IndexSpec("ix_ab", ("a", "b"), ordered=True),
+                )
+            )
+        )
+        for row in [(1, 4, "ab", None), (2, 0, "a", 0), (3, 3, "b/x", 5), (5, 1, "cd", 2)]:
+            t.insert(row)
+        u = db.create_table(_u_schema((IndexSpec("u_a", ("a",), ordered=True),)))
+        for row in [(1, 9), (1, 3), (2, 0), (4, 3), (5, 1)]:
+            u.insert(row)
+        v = db.create_table(_v_schema((IndexSpec("v_b", ("b",), ordered=True),)))
+        for row in [(0, 7), (1, 3), (3, 9), (4, 0)]:
+            v.insert(row)
+        return db
+
+    def test_reversed_on_operands_bind_correctly(self):
+        """`JOIN u ON q.a = p.a` (new table first) must behave exactly
+        like `ON p.a = q.a` — the planner normalizes sides by binding."""
+        db = self._db()
+        reversed_query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("q.a"), Col("p.a"))],
+        )
+        forward_query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a"))],
+        )
+        got = [
+            _canonical(row)
+            for row in plan_query(db.tables, reversed_query).execute()
+        ]
+        want = [
+            _canonical(row)
+            for row in plan_query(db.tables, forward_query).execute()
+        ]
+        assert Counter(got) == Counter(want) and got
+        assert_plan_equivalent(db, reversed_query)
+
+    def test_multi_conjunct_on(self):
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[
+                JoinSpec(
+                    TableRef("u", "q"),
+                    Col("p.a"),
+                    Col("q.a"),
+                    ((Col("p.b"), Col("q.c")),),
+                )
+            ],
+        )
+        rows = list(plan_query(db.tables, query).execute())
+        assert {(row["p.a"], row["p.b"]) for row in rows} == {(2, 0), (5, 1)}
+        assert_plan_equivalent(db, query)
+
+    def test_where_implied_edge_becomes_join(self):
+        """An equality conjunct across bindings in WHERE plans as a join
+        edge, not a post-join filter over a wider intermediate."""
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a"))],
+            where=Cmp("=", Col("q.c"), Col("p.b")),
+        )
+        plan = plan_query(db.tables, query)
+        first_line = explain(plan).splitlines()[0]
+        assert first_line.startswith(("HashJoin", "IndexNestedLoopJoin"))
+        assert_plan_equivalent(db, query)
+
+    def test_non_equi_on_residual(self):
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[
+                JoinSpec(
+                    TableRef("u", "q"),
+                    Col("p.a"),
+                    Col("q.a"),
+                    (),
+                    Cmp("<", Col("p.b"), Col("q.c")),
+                )
+            ],
+        )
+        rows = list(plan_query(db.tables, query).execute())
+        assert all(row["p.b"] < row["q.c"] for row in rows) and rows
+        assert_plan_equivalent(db, query)
+
+    def test_pure_non_equi_on_uses_nested_loop(self):
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[
+                JoinSpec(
+                    TableRef("u", "q"),
+                    None,
+                    None,
+                    (),
+                    Cmp(">", Col("p.a"), Col("q.a")),
+                )
+            ],
+        )
+        assert "NestedLoopJoin" in explain(plan_query(db.tables, query))
+        assert_plan_equivalent(db, query)
+
+    def test_three_table_chain_with_order_and_distinct(self):
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[
+                JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a")),
+                JoinSpec(TableRef("v", "r"), Col("p.b"), Col("r.b")),
+            ],
+            where=Cmp(">=", Col("q.c"), Const(1)),
+            distinct=True,
+            order_by=[(Col("p.a"), False), (Col("r.d"), True)],
+        )
+        assert_plan_equivalent(db, query)
+
+
+class TestAmbiguousColumnDetection:
+    """A shared unqualified column on an unaliased join must raise
+    AmbiguousColumnError when the joined rows disagree, instead of
+    silently preferring the left row — and qualified (aliased) access
+    must keep working."""
+
+    def _dbs(self) -> Database:
+        db = Database("amb")
+        left = db.create_table(
+            TableSchema(
+                "l",
+                [Column("k", ColumnType.INT, nullable=False),
+                 Column("w", ColumnType.INT, nullable=False)],
+            )
+        )
+        right = db.create_table(
+            TableSchema(
+                "r",
+                [Column("k", ColumnType.INT, nullable=False),
+                 Column("w", ColumnType.INT, nullable=False)],
+            )
+        )
+        left.insert((1, 10))
+        right.insert((1, 20))  # same join key, different w
+        return db
+
+    def test_unaliased_collision_raises_like_oracle(self):
+        db = self._dbs()
+        query = Query(
+            TableRef("l"),
+            joins=[JoinSpec(TableRef("r"), Col("k"), Col("k"))],
+        )
+        for naive in (False, True):
+            plan = plan_query(db.tables, query, naive=naive)
+            with pytest.raises(AmbiguousColumnError):
+                list(plan.execute())
+        assert_plan_equivalent(db, query)
+
+    def test_unaliased_equal_values_do_not_raise(self):
+        db = self._dbs()
+        db.tables["r"].insert((2, 30))
+        db.tables["l"].insert((2, 30))  # w agrees on this joined pair
+        query = Query(
+            TableRef("l"),
+            joins=[JoinSpec(TableRef("r"), Col("k"), Col("k"))],
+            where=Cmp("=", Col("k"), Const(2)),
+        )
+        rows = list(plan_query(db.tables, query).execute())
+        assert rows == [{"k": 2, "w": 30}]
+        assert_plan_equivalent(db, query)
+
+    def test_qualified_path_keeps_working(self):
+        db = self._dbs()
+        query = Query(
+            TableRef("l", "x"),
+            joins=[JoinSpec(TableRef("r", "y"), Col("x.k"), Col("y.k"))],
+            outputs=[("xw", Col("x.w")), ("yw", Col("y.w"))],
+        )
+        rows = list(plan_query(db.tables, query).execute())
+        assert rows == [{"xw": 10, "yw": 20}]
         assert_plan_equivalent(db, query)
 
 

@@ -225,8 +225,12 @@ class TestBatchedLocationProbes:
         assert [(r.tid, str(r.loc)) for r in records] == [
             (1, "T/a"), (3, "T/b"), (4, "T/a"),
         ]
+        # the batch runs as one IndexNestedLoopJoin probe batch, which
+        # issues exactly one multi-range union pass over the index
+        assert counts["inlj_probe"] == before["inlj_probe"] + 1
         assert counts["multi_range_scan"] == before["multi_range_scan"] + 1
         assert counts["range_scan"] == before["range_scan"]  # one pass, not N
+        assert counts["eq_lookup"] == before["eq_lookup"]
         assert counts["scan"] == before["scan"]
 
     def test_duplicate_locs_probe_once(self):

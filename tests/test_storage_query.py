@@ -470,6 +470,194 @@ class TestPlannedDMLExplain:
         assert [row["k"] for row in rows] == [0, 39]
 
 
+@pytest.fixture
+def join_db():
+    """Three tables sized so join costs differentiate: a 200-row fact
+    table with ordered indexes, an 8-row dimension, a 4-row driver."""
+    db = Database("joins")
+    execute_sql(
+        db,
+        "CREATE TABLE fact (id INT NOT NULL, grp INT NOT NULL, val TEXT NOT NULL, "
+        "PRIMARY KEY (id))",
+    )
+    execute_sql(db, "CREATE ORDERED INDEX fact_id ON fact (id)")
+    execute_sql(db, "CREATE ORDERED INDEX fact_grp ON fact (grp, id)")
+    values = ", ".join(f"({i}, {i % 8}, 'v{i}')" for i in range(200))
+    execute_sql(db, f"INSERT INTO fact VALUES {values}")
+    execute_sql(
+        db, "CREATE TABLE dim (grp INT NOT NULL, label TEXT NOT NULL, PRIMARY KEY (grp))"
+    )
+    execute_sql(
+        db, "INSERT INTO dim VALUES " + ", ".join(f"({g}, 'g{g}')" for g in range(8))
+    )
+    execute_sql(
+        db, "CREATE TABLE tiny (id INT NOT NULL, tag TEXT NOT NULL, PRIMARY KEY (id))"
+    )
+    execute_sql(db, "INSERT INTO tiny VALUES (1, 'x'), (3, 'y'), (5, 'x'), (7, 'z')")
+    return db
+
+
+class TestJoinPlanSnapshots:
+    """Exact plans for the cost-based join subsystem: join order, index
+    nested loop vs hash choice, and build-side swap — regressions change
+    these strings and fail loudly."""
+
+    def test_small_driver_probes_index_nested_loop(self, join_db):
+        plan = _plan_sql(join_db, "SELECT * FROM tiny t JOIN fact f ON t.id = f.id")
+        assert explain(plan) == (
+            "IndexNestedLoopJoin(fact.fact_pk_idx <- (Col(name='t.id')))\n"
+            "  SeqScan(tiny)"
+        )
+
+    def test_three_table_join_reorders_to_smallest_driver(self, join_db):
+        """As written the query starts from the 200-row fact table; the
+        join-graph order starts from the 4-row driver and probes up the
+        chain instead."""
+        plan = _plan_sql(
+            join_db,
+            "SELECT * FROM fact f JOIN dim d ON f.grp = d.grp "
+            "JOIN tiny t ON f.id = t.id",
+        )
+        assert explain(plan) == (
+            "IndexNestedLoopJoin(dim.dim_pk_idx <- (Col(name='f.grp')))\n"
+            "  IndexNestedLoopJoin(fact.fact_pk_idx <- (Col(name='t.id')))\n"
+            "    SeqScan(tiny)"
+        )
+
+    def test_unindexed_join_key_swaps_build_side(self, join_db):
+        """No index serves t.tag = f.val, so the join hashes — building
+        on the 4-row side while the 200-row side streams."""
+        plan = _plan_sql(join_db, "SELECT * FROM tiny t JOIN fact f ON t.tag = f.val")
+        assert explain(plan) == (
+            "HashJoin(Col(name='t.tag') = Col(name='f.val'), build=left)\n"
+            "  SeqScan(tiny)\n"
+            "  SeqScan(fact)"
+        )
+
+    def test_local_predicate_rides_the_probe_as_residual(self, join_db):
+        plan = _plan_sql(
+            join_db,
+            "SELECT label FROM tiny t JOIN fact f ON t.id = f.id "
+            "JOIN dim d ON f.grp = d.grp WHERE f.grp <= 3",
+        )
+        rendered = explain(plan)
+        assert "filter Cmp(op='<=', left=Col(name='f.grp')" in rendered
+        assert rendered.splitlines()[0] == "Project(label)"
+
+    def test_explain_estimates_annotate_every_operator(self, join_db):
+        from repro.storage.sql import parse_statement
+
+        query = parse_statement(
+            "SELECT * FROM tiny t JOIN fact f ON t.id = f.id"
+        ).query
+        rendered = join_db.explain(query, estimates=True)
+        assert "(est_rows=4)" in rendered
+        # and the default rendering stays estimate-free
+        assert "est_rows" not in join_db.explain(query)
+
+    def test_naive_oracle_keeps_written_left_deep_hash_joins(self, join_db):
+        from repro.storage.sql import parse_statement
+
+        query = parse_statement(
+            "SELECT * FROM fact f JOIN dim d ON f.grp = d.grp "
+            "JOIN tiny t ON f.id = t.id"
+        ).query
+        assert join_db.explain(query, naive=True) == (
+            "HashJoin(Col(name='f.id') = Col(name='t.id'))\n"
+            "  HashJoin(Col(name='f.grp') = Col(name='d.grp'))\n"
+            "    SeqScan(fact)\n"
+            "    SeqScan(dim)\n"
+            "  SeqScan(tiny)"
+        )
+
+
+class TestIndexNestedLoopChunking:
+    """Operator-level: chunked probing is invisible apart from the
+    number of probe batches issued."""
+
+    def test_chunked_probes_match_single_batch(self, join_db):
+        from repro.storage.plan import IndexNestedLoopJoin, SeqScan
+        from repro.storage import Col
+
+        tiny = join_db.table("tiny")
+        fact = join_db.table("fact")
+
+        def rows(chunk):
+            node = IndexNestedLoopJoin(
+                SeqScan(tiny, "t"), fact, "fact_id", (Col("t.id"),),
+                alias="f", chunk=chunk,
+            )
+            return sorted(
+                (env["t.id"], env["f.val"]) for env in node.execute()
+            )
+
+        before = dict(fact.access_counts)
+        single = rows(0)
+        assert fact.access_counts["inlj_probe"] == before["inlj_probe"] + 1
+        assert fact.access_counts["multi_range_scan"] == before["multi_range_scan"] + 1
+        chunked = rows(2)  # 4 driver rows -> 2 probe batches
+        assert fact.access_counts["inlj_probe"] == before["inlj_probe"] + 3
+        assert chunked == single == [(1, "v1"), (3, "v3"), (5, "v5"), (7, "v7")]
+
+
+class TestJoinSQL:
+    def test_reversed_on_operand_order(self, join_db):
+        forward = execute_sql(
+            join_db, "SELECT val, tag FROM tiny t JOIN fact f ON t.id = f.id"
+        )
+        reversed_ = execute_sql(
+            join_db, "SELECT val, tag FROM tiny t JOIN fact f ON f.id = t.id"
+        )
+        key = lambda row: sorted(row.items())
+        assert sorted(forward, key=key) == sorted(reversed_, key=key)
+        assert len(forward) == 4
+
+    def test_multi_conjunct_on(self, join_db):
+        rows = execute_sql(
+            join_db,
+            "SELECT label FROM fact f JOIN dim d ON f.grp = d.grp AND f.id = d.grp",
+        )
+        # only rows where id == grp, i.e. id in 0..7
+        assert len(rows) == 8
+
+    def test_non_equi_on_conjunct(self, join_db):
+        rows = execute_sql(
+            join_db,
+            "SELECT tag, label FROM tiny t JOIN dim d ON t.id = d.grp AND t.id < 5",
+        )
+        assert sorted(row["tag"] for row in rows) == ["x", "y"]
+
+    def test_on_requires_a_comparison(self, join_db):
+        with pytest.raises(SQLError):
+            execute_sql(join_db, "SELECT * FROM tiny t JOIN fact f ON t.id LIKE 'x%'")
+
+    def test_three_table_join_results(self, join_db):
+        rows = execute_sql(
+            join_db,
+            "SELECT label, val FROM tiny t JOIN fact f ON t.id = f.id "
+            "JOIN dim d ON f.grp = d.grp",
+        )
+        assert sorted((row["label"], row["val"]) for row in rows) == [
+            ("g1", "v1"), ("g3", "v3"), ("g5", "v5"), ("g7", "v7"),
+        ]
+
+    def test_ambiguous_unaliased_shared_column_raises(self):
+        from repro.storage import AmbiguousColumnError
+
+        db = Database("amb")
+        execute_sql(db, "CREATE TABLE l (k INT NOT NULL, w INT NOT NULL)")
+        execute_sql(db, "CREATE TABLE r (k INT NOT NULL, w INT NOT NULL)")
+        execute_sql(db, "INSERT INTO l VALUES (1, 10)")
+        execute_sql(db, "INSERT INTO r VALUES (1, 20)")
+        with pytest.raises(AmbiguousColumnError):
+            execute_sql(db, "SELECT * FROM l JOIN r ON k = k")
+        # aliased + qualified: the same data reads fine
+        rows = execute_sql(
+            db, "SELECT x.w AS xw, y.w AS yw FROM l x JOIN r y ON x.k = y.k"
+        )
+        assert rows == [{"xw": 10, "yw": 20}]
+
+
 class TestNegatedAtoms:
     def test_not_in(self, db):
         rows = execute_sql(db, "SELECT tid FROM prov WHERE tid NOT IN (121, 123)")
