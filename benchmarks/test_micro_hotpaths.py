@@ -22,6 +22,7 @@ import json
 import os
 import random
 import statistics
+import struct
 import time
 from pathlib import Path as FsPath
 
@@ -765,6 +766,72 @@ def test_datalog_incremental_eval():
         "datalog_incremental_eval", seed_s, new_s, 2.0, edges=n, rounds=rounds
     )
     assert speedup >= gate(2.0)
+
+
+def test_wal_checksummed_append(tmp_path):
+    """WAL v2 framing tax: per-record CRC + LSN + segment bookkeeping vs
+    a replica of the v1 append path (encode + bare length prefix +
+    buffered write).  This gate points *backwards*: the v2 path does
+    strictly more work per record, so the assertion is an overhead
+    ceiling, not a speedup floor — the checksummed append must stay
+    within 1.5x of the v1 cost (speedup >= 1/1.5 ~= 0.67)."""
+    from repro.storage.wal import WalRecord, WriteAheadLog, _encode_payload
+    from repro.storage.wal import KIND_INSERT
+
+    n = 4_000 * SCALE
+    schema = TableSchema(
+        "t",
+        [Column("id", ColumnType.INT, nullable=False), Column("v", ColumnType.TEXT)],
+        primary_key=("id",),
+    )
+    schemas = {"t": schema}
+    records = [WalRecord(KIND_INSERT, 1, "t", (i, f"v{i}")) for i in range(n)]
+
+    class SeedV1Log:
+        """The v1 append path, verbatim in spirit: no checksum, no LSN,
+        no segment header, no rotation check."""
+
+        def __init__(self, path):
+            self._file = open(path, "ab")
+
+        def append(self, record):
+            payload = _encode_payload(record, schemas)
+            self._file.write(struct.pack("<I", len(payload)) + payload)
+
+        def close(self):
+            self._file.close()
+
+    def run_seed():
+        log = SeedV1Log(str(tmp_path / "seed.wal.v1"))
+        for rec in records:
+            log.append(rec)
+        log.close()
+
+    def run_new():
+        log = WriteAheadLog(str(tmp_path / "new.wal"), schemas)
+        for rec in records:
+            log.append(rec)
+        log.close()
+        for segment in log.segment_paths():
+            os.remove(segment)
+
+    # the checksummed log must still round-trip what it wrote
+    probe = WriteAheadLog(str(tmp_path / "probe.wal"), schemas)
+    for rec in records[:50]:
+        probe.append(rec)
+    probe.flush()
+    assert [r.row for r in probe.scan(mode="strict")] == [
+        r.row for r in records[:50]
+    ]
+    probe.close()
+
+    floor = 0.67  # 1 / the 1.5x overhead ceiling
+    seed_s, new_s = gated_ab(run_seed, run_new, floor)
+    speedup = record("wal_checksummed_append", seed_s, new_s, floor, n=n)
+    assert speedup >= gate(floor), (
+        f"checksummed append costs {1 / speedup:.2f}x the v1 path "
+        f"(ceiling 1.5x)"
+    )
 
 
 def test_datalog_indexed_join():

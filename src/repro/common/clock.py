@@ -55,6 +55,13 @@ class CostModel:
         One target-database interaction (Timber via SOAP); the paper's
         Figure 9 shows this averaging ~450 ms, the yardstick for all
         overhead percentages.
+    retry_timeout_ms:
+        How long the client waits before declaring a round trip lost (a
+        conservative multiple of ``round_trip_ms``, as a real driver's
+        socket timeout would be).  A *failed* round trip therefore costs
+        more than a successful one — failure amplification: every lost
+        request or response adds a full timeout plus the retry's own
+        round trip to the paper's per-operation economics.
     """
 
     round_trip_ms: float = 30.0
@@ -65,6 +72,7 @@ class CostModel:
     check_ms: float = 20.0
     target_op_ms: float = 450.0
     epoch_step_ms: float = 0.1
+    retry_timeout_ms: float = 90.0
 
     # epoch_step_ms: the client-side cost of stepping the Trace walk
     # through one transaction (the t -> t-1 recursion of Section 2.2).
@@ -87,6 +95,11 @@ class CostModel:
     # Backwards-compatible generic round trip used by StoreClient.
     def round_trip_cost(self, rows: int = 0) -> float:
         return self.round_trip_ms + self.stmt_row_ms * rows
+
+    def failed_round_trip_cost(self, rows: int = 0) -> float:
+        """A round trip that times out: the client still marshalled and
+        sent the request, then waited out the timeout."""
+        return self.round_trip_cost(rows) + self.retry_timeout_ms
 
 
 class VirtualClock:

@@ -7,10 +7,16 @@ Public surface:
 * :func:`execute_sql` — the SQL subset;
 * :class:`Query` and the expression AST — programmatic queries;
 * :class:`StoreClient` — round-trip-accounted connection used by the
-  provenance stores and the benchmark harness.
+  provenance stores and the benchmark harness, with a retrying
+  transport (:class:`Transport` / :class:`FlakyTransport` /
+  :class:`RetryPolicy`);
+* durability: ``save_snapshot`` / ``load_snapshot`` / ``checkpoint``
+  (in :mod:`repro.storage.snapshot`), :class:`RecoveryReport`, and the
+  typed corruption errors :class:`WALCorruptionError` /
+  :class:`TransientNetworkError`.
 """
 
-from .client import StoreClient
+from .client import FlakyTransport, RetryPolicy, StoreClient, Transport
 from .db import Database
 from .errors import (
     AmbiguousColumnError,
@@ -20,8 +26,10 @@ from .errors import (
     SQLError,
     StorageError,
     TransactionError,
+    TransientNetworkError,
     UnknownColumnError,
     UnknownTableError,
+    WALCorruptionError,
     WALError,
 )
 from .expr import (
@@ -41,10 +49,15 @@ from .schema import Column, IndexSpec, TableSchema
 from .sql import execute_sql
 from .table import Table
 from .types import ColumnType
+from .wal import RecoveryReport
 
 __all__ = [
     "Database",
     "StoreClient",
+    "Transport",
+    "FlakyTransport",
+    "RetryPolicy",
+    "RecoveryReport",
     "Table",
     "TableSchema",
     "Column",
@@ -74,4 +87,6 @@ __all__ = [
     "TransactionError",
     "SQLError",
     "WALError",
+    "WALCorruptionError",
+    "TransientNetworkError",
 ]

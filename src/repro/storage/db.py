@@ -16,6 +16,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from .errors import (
     TransactionError,
     UnknownTableError,
+    WALError,
 )
 from .expr import Expr
 from .plan import PlanNode, TableScanNode, explain as explain_plan
@@ -25,13 +26,15 @@ from .table import Table
 from .wal import (
     KIND_ABORT,
     KIND_BEGIN,
+    KIND_CHECKPOINT,
     KIND_COMMIT,
     KIND_DELETE,
     KIND_INSERT,
+    RecoveryReport,
+    ScanStats,
     WalRecord,
     WriteAheadLog,
     coalesce_replay,
-    replay_committed,
 )
 
 __all__ = ["Database"]
@@ -52,7 +55,13 @@ class Database:
     provenance experiments use; passing a directory enables the journal.
     """
 
-    def __init__(self, name: str = "db", wal_dir: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        name: str = "db",
+        wal_dir: Optional[str] = None,
+        *,
+        faults=None,
+    ) -> None:
         self.name = name
         self.tables: Dict[str, Table] = {}
         self._wal: Optional[WriteAheadLog] = None
@@ -61,9 +70,17 @@ class Database:
         self._active_txn: Optional[int] = None
         self._undo: List[_UndoEntry] = []
         self._schemas: Dict[str, TableSchema] = {}
+        #: WAL records at or below this LSN are already contained in the
+        #: snapshot this database was loaded from; recover() skips them
+        self._wal_watermark = 0
+        #: set when a WAL append fails mid-transaction: the log no
+        #: longer holds the full transaction, so commit() must refuse
+        self._txn_failed = False
         if wal_dir is not None:
             os.makedirs(wal_dir, exist_ok=True)
-            self._wal = WriteAheadLog(os.path.join(wal_dir, f"{name}.wal"), self._schemas)
+            self._wal = WriteAheadLog(
+                os.path.join(wal_dir, f"{name}.wal"), self._schemas, faults=faults
+            )
 
     # ------------------------------------------------------------------
     # Catalog
@@ -103,6 +120,17 @@ class Database:
     def in_transaction(self) -> bool:
         return self._active_txn is not None
 
+    def _wal_append(self, record: WalRecord) -> None:
+        """Append to the WAL, converting I/O failure into a typed
+        ``WALError`` and *poisoning* the active transaction: the log may
+        hold a partial record, so the transaction can no longer prove
+        durability and ``commit`` will refuse it."""
+        try:
+            self._wal.append(record)
+        except OSError as exc:
+            self._txn_failed = True
+            raise WALError(f"WAL append failed: {exc}") from exc
+
     def begin(self) -> int:
         if self._active_txn is not None:
             raise TransactionError("a transaction is already active")
@@ -110,16 +138,28 @@ class Database:
         self._next_txn_id += 1
         self._active_txn = txn_id
         self._undo = []
+        self._txn_failed = False
         if self._wal is not None:
-            self._wal.append(WalRecord(KIND_BEGIN, txn_id))
+            self._wal_append(WalRecord(KIND_BEGIN, txn_id))
         return txn_id
 
     def commit(self) -> None:
         if self._active_txn is None:
             raise TransactionError("no active transaction to commit")
+        if self._txn_failed:
+            raise TransactionError(
+                "cannot commit: a WAL append failed mid-transaction, so the "
+                "log does not hold the full transaction; roll back instead"
+            )
         if self._wal is not None:
-            self._wal.append(WalRecord(KIND_COMMIT, self._active_txn))
-            self._wal.flush()
+            try:
+                self._wal.append(WalRecord(KIND_COMMIT, self._active_txn))
+                self._wal.flush()
+            except OSError as exc:
+                # the COMMIT record is not durably down; the transaction
+                # stays open (and poisoned) so the caller rolls it back
+                self._txn_failed = True
+                raise WALError(f"commit not durable: {exc}") from exc
         self._active_txn = None
         self._undo = []
 
@@ -133,14 +173,29 @@ class Database:
             else:  # undo a delete by re-inserting the old row
                 self._reinsert_at(table, entry.rowid, entry.row)
         if self._wal is not None:
-            self._wal.append(WalRecord(KIND_ABORT, self._active_txn))
+            try:
+                self._wal.append(WalRecord(KIND_ABORT, self._active_txn))
+            except OSError:
+                # REDO recovery discards uncommitted transactions whether
+                # or not the ABORT made it down; in-memory rollback is
+                # already complete, so a failing log must not block it
+                pass
         self._active_txn = None
         self._undo = []
+        self._txn_failed = False
 
     def _autocommit(self) -> bool:
         """Begin an implicit transaction if none is active."""
         if self._active_txn is None:
-            self.begin()
+            try:
+                self.begin()
+            except WALError:
+                # the BEGIN append failed after the transaction was
+                # opened; close it again so the failed statement leaves
+                # no transaction dangling
+                if self._active_txn is not None:
+                    self.rollback()
+                raise
             return True
         return False
 
@@ -152,14 +207,18 @@ class Database:
         implicit = self._autocommit()
         try:
             rowid = table.insert(row)
+            stored = table.get(rowid)
+            # undo before WAL: if the log append fails, rollback (explicit
+            # or implicit) still knows how to take the row back out
+            self._undo.append(_UndoEntry("insert", table_name, rowid, stored))
+            if self._wal is not None:
+                self._wal_append(
+                    WalRecord(KIND_INSERT, self._active_txn, table_name, stored)
+                )
         except Exception:
             if implicit:
                 self.rollback()
             raise
-        stored = table.get(rowid)
-        self._undo.append(_UndoEntry("insert", table_name, rowid, stored))
-        if self._wal is not None:
-            self._wal.append(WalRecord(KIND_INSERT, self._active_txn, table_name, stored))
         if implicit:
             self.commit()
         return rowid
@@ -242,19 +301,27 @@ class Database:
         doomed = self._select_victims(table, predicate, naive)
         implicit = self._autocommit()
         removed: List[Tuple[int, Tuple[Any, ...]]] = []
+        undo_logged = False
         try:
             for rowid in doomed:
                 removed.append((rowid, table.delete_row(rowid)))
+            for rowid, row in removed:
+                self._undo.append(_UndoEntry("delete", table_name, rowid, row))
+            undo_logged = True
+            if self._wal is not None:
+                for _rowid, row in removed:
+                    self._wal_append(
+                        WalRecord(KIND_DELETE, self._active_txn, table_name, row)
+                    )
         except Exception:
-            for rowid, row in reversed(removed):
-                self._reinsert_at(table, rowid, row)
+            if not undo_logged:
+                # mid-batch mutation failure: the undo log doesn't know
+                # these rows yet, so revert them by hand
+                for rowid, row in reversed(removed):
+                    self._reinsert_at(table, rowid, row)
             if implicit:
                 self.rollback()
             raise
-        for rowid, row in removed:
-            self._undo.append(_UndoEntry("delete", table_name, rowid, row))
-            if self._wal is not None:
-                self._wal.append(WalRecord(KIND_DELETE, self._active_txn, table_name, row))
         if implicit:
             self.commit()
         return len(removed)
@@ -281,26 +348,34 @@ class Database:
         victims = self._select_victims(table, predicate, naive)
         implicit = self._autocommit()
         applied: List[Tuple[int, Tuple[Any, ...], Tuple[Any, ...]]] = []
+        undo_logged = False
         try:
             for rowid in victims:
                 old, new = table.update_row(rowid, changes)
                 applied.append((rowid, old, new))
+            for rowid, old, new in applied:
+                self._undo.append(_UndoEntry("delete", table_name, rowid, old))
+                self._undo.append(_UndoEntry("insert", table_name, rowid, new))
+            undo_logged = True
+            if self._wal is not None:
+                for _rowid, old, new in applied:
+                    self._wal_append(
+                        WalRecord(KIND_DELETE, self._active_txn, table_name, old)
+                    )
+                    self._wal_append(
+                        WalRecord(KIND_INSERT, self._active_txn, table_name, new)
+                    )
         except Exception:
-            # Reverting in reverse order cannot itself conflict: the
-            # statement sets every victim to the same values, so the
-            # old rows being restored were distinct before the call.
-            names = table.schema.column_names
-            for rowid, old, _new in reversed(applied):
-                table.update_row(rowid, dict(zip(names, old)))
+            if not undo_logged:
+                # Reverting in reverse order cannot itself conflict: the
+                # statement sets every victim to the same values, so the
+                # old rows being restored were distinct before the call.
+                names = table.schema.column_names
+                for rowid, old, _new in reversed(applied):
+                    table.update_row(rowid, dict(zip(names, old)))
             if implicit:
                 self.rollback()
             raise
-        for rowid, old, new in applied:
-            self._undo.append(_UndoEntry("delete", table_name, rowid, old))
-            self._undo.append(_UndoEntry("insert", table_name, rowid, new))
-            if self._wal is not None:
-                self._wal.append(WalRecord(KIND_DELETE, self._active_txn, table_name, old))
-                self._wal.append(WalRecord(KIND_INSERT, self._active_txn, table_name, new))
         if implicit:
             self.commit()
         return len(applied)
@@ -349,8 +424,19 @@ class Database:
         self._active_txn = None
         self._undo = []
 
-    def recover(self) -> int:
+    def recover(self, mode: str = "strict") -> RecoveryReport:
         """REDO recovery: replay committed transactions from the WAL.
+
+        ``mode="strict"`` raises
+        :class:`~repro.storage.errors.WALCorruptionError` (naming the
+        segment, offset, and LSN) at the first corrupt record, *before*
+        any table has been touched — the scan is materialized first, so
+        strict recovery either applies everything or changes nothing.
+        ``mode="tolerant"`` replays the longest clean committed prefix
+        and reports what it dropped.  A torn tail (crash mid-append) is
+        not corruption in either mode.  Records at or below the
+        snapshot's LSN watermark are skipped — their effects are already
+        in the snapshot this database was loaded from.
 
         Replay is bulk, not row-at-a-time: committed inserts are grouped
         into per-table runs (``coalesce_replay``) and applied through
@@ -359,15 +445,45 @@ class Database:
         instead of being maintained per row.  Deletes flush their
         table's pending run first, preserving per-table order.
 
-        Returns the number of transactions replayed.  Tables must already
-        exist (schema is metadata, not logged — as in most real systems).
+        Returns a :class:`~repro.storage.wal.RecoveryReport` (which
+        compares equal to the replayed-transaction count, the old return
+        type).  Tables must already exist (schema is metadata, not
+        logged — as in most real systems).
         """
         if self._wal is None:
             raise TransactionError("this database has no WAL to recover from")
-        transactions = list(replay_committed(self._wal))
-        for txn_id, _records in transactions:
+        stats = ScanStats()
+        report = RecoveryReport(mode=mode)
+        watermark = self._wal_watermark
+        pending: Dict[int, List[WalRecord]] = {}
+        committed: List[Tuple[int, List[WalRecord]]] = []
+        for record in self._wal.scan(mode=mode, stats=stats):
+            if record.lsn is not None and record.lsn <= watermark:
+                report.records_skipped += 1
+                continue
+            if record.kind == KIND_BEGIN:
+                pending[record.txn_id] = []
+            elif record.kind in (KIND_INSERT, KIND_DELETE):
+                pending.setdefault(record.txn_id, []).append(record)
+            elif record.kind == KIND_COMMIT:
+                committed.append((record.txn_id, pending.pop(record.txn_id, [])))
+            elif record.kind == KIND_ABORT:
+                pending.pop(record.txn_id, None)
+                report.txns_aborted += 1
+            elif record.kind == KIND_CHECKPOINT:
+                continue
+            else:  # pragma: no cover - defensive
+                raise WALError(f"unknown WAL record kind {record.kind}")
+        report.txns_replayed = len(committed)
+        report.txns_dropped = len(pending)
+        report.segments_scanned = stats.segments_scanned
+        report.records_scanned = stats.records_scanned
+        report.torn_tail_bytes = stats.torn_tail_bytes
+        report.bytes_quarantined = stats.bytes_quarantined
+        report.corruption = stats.corruption
+        for txn_id, _records in committed:
             self._next_txn_id = max(self._next_txn_id, txn_id + 1)
-        flat = (record for _txn_id, records in transactions for record in records)
+        flat = (record for _txn_id, records in committed for record in records)
         for op, table_name, payload in coalesce_replay(flat):
             table = self.table(table_name)
             if op == "bulk_insert":
@@ -383,7 +499,7 @@ class Database:
                     if row == payload:
                         table.delete_row(rowid)
                         break
-        return len(transactions)
+        return report
 
     # ------------------------------------------------------------------
     # Statistics

@@ -12,6 +12,8 @@ __all__ = [
     "TransactionError",
     "SQLError",
     "WALError",
+    "WALCorruptionError",
+    "TransientNetworkError",
 ]
 
 
@@ -59,3 +61,43 @@ class SQLError(StorageError):
 
 class WALError(StorageError):
     """Corrupt or unreadable write-ahead-log content."""
+
+
+class WALCorruptionError(WALError):
+    """A WAL record failed verification (checksum, framing, or LSN).
+
+    Names the corruption site: ``segment`` (file path), ``offset``
+    (byte offset of the bad record within it), ``lsn`` (the expected
+    log sequence number there, when known), and ``reason``.  Raised by
+    the strict-mode scanner; the tolerant scanner reports the same
+    site in the :class:`~repro.storage.wal.RecoveryReport` instead.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        segment: str,
+        offset: int,
+        lsn: "int | None" = None,
+    ) -> None:
+        self.reason = reason
+        self.segment = segment
+        self.offset = offset
+        self.lsn = lsn
+        at_lsn = f", lsn {lsn}" if lsn is not None else ""
+        super().__init__(f"{reason} in {segment!r} at byte {offset}{at_lsn}")
+
+
+class TransientNetworkError(StorageError):
+    """A client/server round trip failed in a retryable way.
+
+    ``phase`` distinguishes a lost *request* (the server never executed
+    the operation) from a lost *response* (the server executed it but
+    the client cannot know) — the distinction idempotency keys exist
+    for.
+    """
+
+    def __init__(self, message: str, *, phase: str = "request") -> None:
+        self.phase = phase
+        super().__init__(message)

@@ -329,25 +329,30 @@ class TestCrashPointMatrix:
         db.begin()
         db.insert("prov", (7, "I", "T/g", None))
         db.crash()
-        return db._wal.path, states
+        [segment] = db._wal.segment_paths()
+        return segment, states
 
     def _record_ends(self, data):
-        """Byte offsets just past each record, with the record kind."""
+        """Byte offsets just past each v2 record, with the record kind.
+
+        Offsets are absolute within the segment file: a 16-byte segment
+        header, then records framed as u32 length + u32 crc + u64 lsn.
+        """
         ends = []
-        offset = 0
-        while offset + 4 <= len(data):
+        offset = 16  # past the segment header
+        while offset + 16 <= len(data):
             (length,) = struct.unpack_from("<I", data, offset)
-            if offset + 4 + length > len(data):
+            if offset + 16 + length > len(data):
                 break
-            kind = data[offset + 4]
-            offset += 4 + length
+            kind = data[offset + 16]
+            offset += 16 + length
             ends.append((offset, kind))
         return ends
 
     def _recover_truncated(self, tmp_path, data, cut):
         target = tmp_path / f"cut_{cut}"
         target.mkdir()
-        with open(target / "m.wal", "wb") as handle:
+        with open(target / "m.wal.000001", "wb") as handle:
             handle.write(data[:cut])
         db = Database("m", wal_dir=str(target))
         db.create_table(schema())
@@ -388,3 +393,29 @@ class TestCrashPointMatrix:
         assert rows == states[2]
         assert (1, "D", "T/a", None) not in rows  # the update must not apply
         assert (1, "I", "T/a", None) in rows  # the pre-update row survives
+
+
+class TestLiveReadThenAppend:
+    """Regression: ``records()`` used to ``close()`` the log to force a
+    flush, silently killing the live append handle — the next append
+    reopened the file and could race the reader.  Reads now go through
+    independent handles."""
+
+    def test_append_read_append(self, tmp_path):
+        db = Database("w", wal_dir=str(tmp_path))
+        db.create_table(schema())
+        db.insert("prov", (1, "I", "T/a", None))
+        first = list(db._wal.records())
+        assert len(first) == 3  # BEGIN, INSERT, COMMIT
+        # the append handle must still be alive and writable
+        db.insert("prov", (2, "I", "T/b", None))
+        second = list(db._wal.records())
+        assert [record.lsn for record in second] == [1, 2, 3, 4, 5, 6]
+        db.crash()
+        fresh = Database("w", wal_dir=str(tmp_path))
+        fresh.create_table(schema())
+        assert fresh.recover() == 2
+        assert sorted(row for _rid, row in fresh.table("prov").scan()) == [
+            (1, "I", "T/a", None),
+            (2, "I", "T/b", None),
+        ]
