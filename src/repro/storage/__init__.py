@@ -46,7 +46,7 @@ from .expr import (
 )
 from .query import JoinSpec, Query, TableRef
 from .schema import Column, IndexSpec, TableSchema
-from .sql import execute_sql
+from .sql import PreparedStatement, execute_sql
 from .table import Table
 from .types import ColumnType
 from .wal import RecoveryReport
@@ -67,6 +67,7 @@ __all__ = [
     "TableRef",
     "JoinSpec",
     "execute_sql",
+    "PreparedStatement",
     "And",
     "Cmp",
     "Col",

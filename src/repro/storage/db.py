@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .errors import (
     TransactionError,
@@ -20,7 +20,7 @@ from .errors import (
 )
 from .expr import Expr
 from .plan import PlanNode, TableScanNode, explain as explain_plan
-from .query import Query, plan_mutation, plan_query
+from .query import PlanCache, Query, plan_mutation, plan_query
 from .schema import Column, IndexSpec, TableSchema
 from .table import Table
 from .wal import (
@@ -36,6 +36,9 @@ from .wal import (
     WriteAheadLog,
     coalesce_replay,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with sql.py
+    from .sql import PreparedStatement
 
 __all__ = ["Database"]
 
@@ -61,9 +64,22 @@ class Database:
         wal_dir: Optional[str] = None,
         *,
         faults=None,
+        plan_cache_size: int = 128,
     ) -> None:
         self.name = name
         self.tables: Dict[str, Table] = {}
+        #: cached physical plans keyed on (query shape, literals, stats
+        #: epoch) — see :class:`repro.storage.query.PlanCache`.
+        #: ``plan_cache_size=0`` disables caching (every ``plan`` call
+        #: re-plans with live statistics — the benchmark baseline).
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(plan_cache_size) if plan_cache_size > 0 else None
+        )
+        #: catalog DDL counter folded into every plan-cache epoch: a
+        #: dropped-and-recreated table could otherwise coincide with a
+        #: stale entry's (name, version) and serve plans bound to the
+        #: *old* Table object
+        self._ddl_epoch = 0
         self._wal: Optional[WriteAheadLog] = None
         self._wal_dir = wal_dir
         self._next_txn_id = 1
@@ -96,6 +112,7 @@ class Database:
             )
         self.tables[schema.name] = table
         self._schemas[schema.name] = schema
+        self._ddl_epoch += 1
         return table
 
     def drop_table(self, name: str) -> None:
@@ -103,6 +120,7 @@ class Database:
             raise UnknownTableError(f"no table {name!r}")
         del self.tables[name]
         del self._schemas[name]
+        self._ddl_epoch += 1
 
     def table(self, name: str) -> Table:
         try:
@@ -383,10 +401,33 @@ class Database:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _stats_epoch(self, query: Query) -> Tuple[Any, ...]:
+        """The plan-cache epoch for every table ``query`` touches:
+        the catalog DDL counter plus, per table, its ``_version``
+        mutation counter and index-spec fingerprint.  Any insert,
+        delete, update, ``create_index``, or drop/recreate moves some
+        component, so stale cache entries can never match."""
+        names = {query.table.name}
+        names.update(join.table.name for join in query.joins)
+        parts: List[Tuple[Any, ...]] = []
+        for name in sorted(names):
+            table = self.table(name)
+            fingerprint = tuple(sorted(table.index_specs.items()))
+            parts.append((name, table._version, fingerprint))
+        return (self._ddl_epoch, tuple(parts))
+
     def plan(self, query: Query, *, naive: bool = False) -> PlanNode:
         """The physical plan for ``query``; ``naive=True`` forces the
-        rule-free SeqScan+Sort oracle plan (differential testing)."""
-        return plan_query(self.tables, query, naive=naive)
+        rule-free SeqScan+Sort oracle plan (differential testing).
+
+        Non-naive plans go through the plan cache: an exact repeat
+        (same shape, same literals, same stats epoch) returns the
+        cached plan with no planning work at all; a same-shape repeat
+        with new literals re-costs against the cached statistics
+        snapshot without sampling the tables."""
+        if naive or self.plan_cache is None:
+            return plan_query(self.tables, query, naive=naive)
+        return self.plan_cache.plan(self.tables, query, self._stats_epoch(query))
 
     def plan_mutation(
         self, table_name: str, predicate: Optional[Expr] = None, *, naive: bool = False
@@ -397,20 +438,45 @@ class Database:
         :func:`~repro.storage.query.plan_mutation`)."""
         return plan_mutation(self.table(table_name), predicate, naive=naive)
 
-    def explain(self, query: Query, *, naive: bool = False, estimates: bool = False) -> str:
+    def explain(
+        self,
+        query: Query,
+        *,
+        naive: bool = False,
+        estimates: bool = False,
+        cache_status: bool = False,
+    ) -> str:
         """EXPLAIN: the plan for ``query`` rendered as indented text.
 
         ``estimates=True`` appends the planner's estimated row count to
         every access path and join operator (``est_rows=N``) — the
         figures the cost model ranked candidates and join orders by, so
         a surprising plan can be traced to the estimate that caused it.
-        The default output matches :func:`repro.storage.plan.explain`
-        exactly (snapshot-stable across estimator changes).
+        ``cache_status=True`` prefixes a ``plan cache: hit|shape_hit|
+        miss`` line reporting how this very call resolved.  The default
+        output matches :func:`repro.storage.plan.explain` exactly
+        (snapshot-stable across estimator changes).
         """
-        return explain_plan(self.plan(query, naive=naive), estimates=estimates)
+        rendered = explain_plan(self.plan(query, naive=naive), estimates=estimates)
+        if cache_status and not naive and self.plan_cache is not None:
+            rendered = f"plan cache: {self.plan_cache.last_lookup}\n{rendered}"
+        return rendered
 
     def execute(self, query: Query) -> List[Dict[str, Any]]:
         return list(self.plan(query).execute())
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse a SQL statement once for repeated execution.
+
+        ``?`` placeholders mark bind positions; each ``execute(params)``
+        substitutes values and runs through the plan cache, so repeated
+        executions skip parsing entirely and planning re-samples no
+        table statistics (same shape ⇒ cached stats snapshot; same
+        values ⇒ the whole cached plan).
+        """
+        from .sql import PreparedStatement  # deferred: sql.py imports db.py
+
+        return PreparedStatement(self, sql)
 
     # ------------------------------------------------------------------
     # Durability
@@ -505,7 +571,16 @@ class Database:
     # Statistics
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Dict[str, int]]:
-        return {
+        """Per-table row/byte figures plus the plan cache's counters
+        under the reserved ``"plan_cache"`` key (hits / shape_hits /
+        misses / invalidations; all zero when caching is disabled)."""
+        out: Dict[str, Dict[str, int]] = {
             name: {"rows": table.row_count, "bytes": table.byte_size}
             for name, table in self.tables.items()
         }
+        out["plan_cache"] = (
+            dict(self.plan_cache.counters)
+            if self.plan_cache is not None
+            else {"hits": 0, "shape_hits": 0, "misses": 0, "invalidations": 0}
+        )
+        return out

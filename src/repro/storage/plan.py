@@ -12,7 +12,7 @@ from itertools import islice
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .errors import AmbiguousColumnError
-from .expr import Col, Expr
+from .expr import Col, Expr, compile_expr
 from .index import MAX_KEY, KeyRange
 from .table import Table
 
@@ -39,6 +39,12 @@ __all__ = [
 
 Env = Dict[str, Any]
 
+#: rows per block in the chunked Volcano protocol (``PlanNode.chunks``).
+#: The same figure as the INLJ's probe batches: large enough to amortize
+#: per-block dispatch, small enough that streaming operators above a
+#: LIMIT never materialize much past the cutoff.
+CHUNK = 256
+
 
 def _env_from_row(table: Table, row: Tuple[Any, ...], alias: Optional[str]) -> Env:
     names = table.schema.column_names
@@ -50,10 +56,29 @@ def _env_from_row(table: Table, row: Tuple[Any, ...], alias: Optional[str]) -> E
 
 
 class PlanNode:
-    """Base class for physical operators."""
+    """Base class for physical operators.
+
+    Two execution surfaces: the classic row-at-a-time :meth:`execute`
+    iterator, and the chunked protocol :meth:`chunks`, which yields the
+    same environments in row blocks of up to ``size``.  The scan →
+    filter → project spine overrides :meth:`chunks` natively (one
+    dispatch per block, tight list comprehensions per row) and derives
+    ``execute`` from it; every other operator gets a batching default,
+    so the two surfaces always agree and either one can sit above any
+    child.
+    """
 
     def execute(self) -> Iterator[Env]:
         raise NotImplementedError
+
+    def chunks(self, size: int = CHUNK) -> Iterator[List[Env]]:
+        """The operator's rows in blocks of up to ``size``."""
+        rows = self.execute()
+        while True:
+            block = list(islice(rows, size))
+            if not block:
+                return
+            yield block
 
     def describe(self) -> str:
         raise NotImplementedError
@@ -82,6 +107,23 @@ class TableScanNode(PlanNode):
         table, alias = self.table, self.alias
         for _rowid, row in self.rows():
             yield _env_from_row(table, row, alias)
+
+    def chunks(self, size: int = CHUNK) -> Iterator[List[Env]]:
+        names = self.table.schema.column_names
+        alias = self.alias
+        rows = self.rows()
+        while True:
+            batch = list(islice(rows, size))
+            if not batch:
+                return
+            if alias is None:
+                yield [dict(zip(names, row)) for _rowid, row in batch]
+            else:
+                qualified = tuple(f"{alias}.{name}" for name in names)
+                yield [
+                    dict(zip(names + qualified, row + row))
+                    for _rowid, row in batch
+                ]
 
 
 @dataclass
@@ -231,13 +273,29 @@ class ValuesNode(PlanNode):
 
 @dataclass
 class FilterNode(PlanNode):
+    """Residual predicate over the child's rows.
+
+    The predicate is compiled into a specialized closure once, at plan
+    construction (so a cached plan pays it once across all executions),
+    and applied block-at-a-time over the child's chunks.
+    """
+
     child: PlanNode
     predicate: Expr
 
+    def __post_init__(self) -> None:
+        self._compiled = compile_expr(self.predicate)
+
     def execute(self) -> Iterator[Env]:
-        for env in self.child.execute():
-            if self.predicate.eval(env):
-                yield env
+        for block in self.chunks():
+            yield from block
+
+    def chunks(self, size: int = CHUNK) -> Iterator[List[Env]]:
+        predicate = self._compiled
+        for block in self.child.chunks(size):
+            passed = [env for env in block if predicate(env)]
+            if passed:
+                yield passed
 
     def describe(self) -> str:
         return f"Filter({self.predicate!r})"
@@ -248,12 +306,23 @@ class FilterNode(PlanNode):
 
 @dataclass
 class ProjectNode(PlanNode):
+    """Projection; output expressions are compiled once per plan and
+    applied block-at-a-time, like :class:`FilterNode`."""
+
     child: PlanNode
     outputs: List[Tuple[str, Expr]]  # (output name, expression)
 
+    def __post_init__(self) -> None:
+        self._compiled = [(name, compile_expr(expr)) for name, expr in self.outputs]
+
     def execute(self) -> Iterator[Env]:
-        for env in self.child.execute():
-            yield {name: expr.eval(env) for name, expr in self.outputs}
+        for block in self.chunks():
+            yield from block
+
+    def chunks(self, size: int = CHUNK) -> Iterator[List[Env]]:
+        compiled = self._compiled
+        for block in self.child.chunks(size):
+            yield [{name: fn(env) for name, fn in compiled} for env in block]
 
     def describe(self) -> str:
         return "Project(" + ", ".join(name for name, _ in self.outputs) + ")"
@@ -335,6 +404,31 @@ def _eval_key(exprs: Tuple[Expr, ...], env: Env) -> Optional[Tuple[Any, ...]]:
     return tuple(values)
 
 
+def _compile_key(key: JoinKey) -> Callable[[Env], Optional[Tuple[Any, ...]]]:
+    """Compiled form of :func:`_eval_key` — the per-row closure a join
+    evaluates its probe/build key through."""
+    fns = [compile_expr(expr) for expr in _as_exprs(key)]
+    if len(fns) == 1:
+        fn = fns[0]
+
+        def single(env: Env) -> Optional[Tuple[Any, ...]]:
+            value = fn(env)
+            return None if value is None else (value,)
+
+        return single
+
+    def key_fn(env: Env) -> Optional[Tuple[Any, ...]]:
+        values = []
+        for fn in fns:
+            value = fn(env)
+            if value is None:
+                return None
+            values.append(value)
+        return tuple(values)
+
+    return key_fn
+
+
 def _render_key(key: JoinKey) -> str:
     exprs = _as_exprs(key)
     if len(exprs) == 1:
@@ -363,29 +457,33 @@ class HashJoinNode(PlanNode):
     right_key: JoinKey
     build_left: bool = False
 
+    def __post_init__(self) -> None:
+        self._left_key_fn = _compile_key(self.left_key)
+        self._right_key_fn = _compile_key(self.right_key)
+
     def execute(self) -> Iterator[Env]:
-        left_keys = _as_exprs(self.left_key)
-        right_keys = _as_exprs(self.right_key)
+        left_key_fn = self._left_key_fn
+        right_key_fn = self._right_key_fn
         merger = _EnvMerger()
         buckets: Dict[Tuple[Any, ...], List[Env]] = {}
         if self.build_left:
             for env in self.left.execute():
-                key = _eval_key(left_keys, env)
+                key = left_key_fn(env)
                 if key is not None:
                     buckets.setdefault(key, []).append(env)
             for right_env in self.right.execute():
-                key = _eval_key(right_keys, right_env)
+                key = right_key_fn(right_env)
                 if key is None:
                     continue
                 for left_env in buckets.get(key, ()):
                     yield merger.merge(left_env, right_env)
         else:
             for env in self.right.execute():
-                key = _eval_key(right_keys, env)
+                key = right_key_fn(env)
                 if key is not None:
                     buckets.setdefault(key, []).append(env)
             for left_env in self.left.execute():
-                key = _eval_key(left_keys, left_env)
+                key = left_key_fn(left_env)
                 if key is None:
                     continue
                 for right_env in buckets.get(key, ()):
@@ -469,11 +567,18 @@ class IndexNestedLoopJoin(PlanNode):
     tail_high: Optional[Tuple[Any, bool]] = None
     chunk: int = INLJ_CHUNK
 
+    def __post_init__(self) -> None:
+        self._key_fn = _compile_key(self.left_exprs)
+        self._residual_fn = (
+            compile_expr(self.residual) if self.residual is not None else None
+        )
+
     def execute(self) -> Iterator[Env]:
         spec = self.table.index_specs[self.index_name]
         width = len(spec.columns)
         eq_len = len(self.left_exprs)
-        table, alias, residual = self.table, self.alias, self.residual
+        table, alias = self.table, self.alias
+        key_fn, residual = self._key_fn, self._residual_fn
         project = table.schema.project
         lead = spec.columns[:eq_len]
         merger = _EnvMerger()
@@ -484,7 +589,7 @@ class IndexNestedLoopJoin(PlanNode):
                 return
             groups: Dict[Tuple[Any, ...], List[Env]] = {}
             for env in batch:
-                key = _eval_key(self.left_exprs, env)
+                key = key_fn(env)
                 if key is not None:
                     groups.setdefault(key, []).append(env)
             if groups:
@@ -499,7 +604,7 @@ class IndexNestedLoopJoin(PlanNode):
                         self.index_name, ranges, presorted=True
                     ):
                         right_env = _env_from_row(table, row, alias)
-                        if residual is not None and not residual.eval(right_env):
+                        if residual is not None and not residual(right_env):
                             continue
                         for left_env in groups.get(project(row, lead), ()):
                             yield merger.merge(left_env, right_env)
@@ -507,7 +612,7 @@ class IndexNestedLoopJoin(PlanNode):
                     for key, envs in groups.items():
                         for _rowid, row in table.lookup_index(self.index_name, key):
                             right_env = _env_from_row(table, row, alias)
-                            if residual is not None and not residual.eval(right_env):
+                            if residual is not None and not residual(right_env):
                                 continue
                             for left_env in envs:
                                 yield merger.merge(left_env, right_env)
@@ -543,13 +648,19 @@ class NestedLoopJoinNode(PlanNode):
     right: PlanNode
     predicate: Optional[Expr] = None
 
+    def __post_init__(self) -> None:
+        self._predicate_fn = (
+            compile_expr(self.predicate) if self.predicate is not None else None
+        )
+
     def execute(self) -> Iterator[Env]:
         merger = _EnvMerger()
+        predicate = self._predicate_fn
         right_rows = list(self.right.execute())
         for left_env in self.left.execute():
             for right_env in right_rows:
                 merged = merger.merge(left_env, right_env)
-                if self.predicate is None or self.predicate.eval(merged):
+                if predicate is None or predicate(merged):
                     yield merged
 
     def describe(self) -> str:
@@ -564,13 +675,18 @@ class SortNode(PlanNode):
     child: PlanNode
     keys: List[Tuple[Expr, bool]]  # (expression, descending)
 
+    def __post_init__(self) -> None:
+        self._compiled = [
+            (compile_expr(expr), descending) for expr, descending in self.keys
+        ]
+
     def execute(self) -> Iterator[Env]:
         rows = list(self.child.execute())
 
         # Stable multi-key sort: apply keys right-to-left.
-        for expr, descending in reversed(self.keys):
+        for key_fn, descending in reversed(self._compiled):
             rows.sort(
-                key=lambda env, e=expr: _null_safe_key(e.eval(env)),
+                key=lambda env, fn=key_fn: _null_safe_key(fn(env)),
                 reverse=descending,
             )
         return iter(rows)
@@ -658,22 +774,30 @@ class AggregateNode(PlanNode):
     group_by: List[Tuple[str, Expr]]
     aggregates: List[Tuple[str, str, Optional[Expr]]]
 
+    def __post_init__(self) -> None:
+        self._group_fns = [compile_expr(expr) for _name, expr in self.group_by]
+        self._agg_fns = [
+            (name, function, compile_expr(expr) if expr is not None else None)
+            for name, function, expr in self.aggregates
+        ]
+
     def execute(self) -> Iterator[Env]:
+        group_fns = self._group_fns
         groups: Dict[Tuple[Any, ...], List[Env]] = {}
         for env in self.child.execute():
-            key = tuple(expr.eval(env) for _name, expr in self.group_by)
+            key = tuple(fn(env) for fn in group_fns)
             groups.setdefault(key, []).append(env)
         if not self.group_by and not groups:
             groups[()] = []
         for key, rows in groups.items():
             out: Env = {name: part for (name, _expr), part in zip(self.group_by, key)}
-            for out_name, function, expr in self.aggregates:
+            for out_name, function, fn in self._agg_fns:
                 if function not in _AGGREGATES:
                     raise ValueError(f"unknown aggregate {function!r}")
-                if expr is None:
+                if fn is None:
                     values: List[Any] = [1] * len(rows)
                 else:
-                    values = [v for v in (expr.eval(env) for env in rows) if v is not None]
+                    values = [v for v in (fn(env) for env in rows) if v is not None]
                 out[out_name] = _AGGREGATES[function](values)
             yield out
 

@@ -48,6 +48,7 @@ full scan.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from math import log2
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -57,6 +58,7 @@ from .expr import (
     And,
     Cmp,
     Col,
+    Concat,
     Const,
     Expr,
     InList,
@@ -90,7 +92,16 @@ from .plan import (
 from .table import IndexStats, Table
 from .types import ColumnType
 
-__all__ = ["TableRef", "JoinSpec", "Query", "plan_query", "plan_mutation"]
+__all__ = [
+    "TableRef",
+    "JoinSpec",
+    "Query",
+    "PlanCache",
+    "PlannerStats",
+    "plan_query",
+    "plan_mutation",
+    "query_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -152,6 +163,256 @@ class Query:
     offset: int = 0
     having: Optional[Expr] = None
     distinct: bool = False
+
+
+# ----------------------------------------------------------------------
+# Planner statistics context and the plan cache
+# ----------------------------------------------------------------------
+
+
+class PlannerStats:
+    """Memo of the table statistics planning consulted.
+
+    The first planning call through a fresh instance records every
+    ``index_stats`` / ``column_histogram`` answer; replaying the same
+    instance on a later call (same query *shape*, same stats epoch)
+    answers from the memo — zero sampling against the tables, which is
+    what ``Table.stats_counts`` asserts.  A consult missing from the
+    memo (a shape would have to diverge for that) falls through to the
+    live table and is recorded.
+    """
+
+    __slots__ = ("_index_stats", "_histograms")
+
+    def __init__(self) -> None:
+        self._index_stats: Dict[Tuple[str, str], IndexStats] = {}
+        self._histograms: Dict[Tuple[str, str], Any] = {}
+
+    def index_stats(self, table: Table, name: str) -> IndexStats:
+        key = (table.schema.name, name)
+        try:
+            return self._index_stats[key]
+        except KeyError:
+            value = self._index_stats[key] = table.index_stats(name)
+            return value
+
+    def histogram(self, table: Table, column: str):
+        key = (table.schema.name, column)
+        try:
+            return self._histograms[key]
+        except KeyError:
+            value = self._histograms[key] = table.column_histogram(column)
+            return value
+
+
+#: the statistics memo the current ``plan_query`` call records into /
+#: replays from; ``None`` = consult tables directly.  A module global —
+#: not thread state — because the engine is single-threaded embedded
+#: (see ROADMAP's MVCC item); ``plan_query`` saves and restores it.
+_ACTIVE_STATS: Optional[PlannerStats] = None
+
+
+def _table_index_stats(table: Table, name: str) -> IndexStats:
+    if _ACTIVE_STATS is None:
+        return table.index_stats(name)
+    return _ACTIVE_STATS.index_stats(table, name)
+
+
+def _table_histogram(table: Table, column: str):
+    if _ACTIVE_STATS is None:
+        return table.column_histogram(column)
+    return _ACTIVE_STATS.histogram(table, column)
+
+
+def _literal(value: Any) -> Any:
+    """A hashable stand-in for one parameterized-out literal."""
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value
+
+
+def _expr_shape(expr: Optional[Expr], literals: List[Any]) -> str:
+    """Render an expression with every literal replaced by ``?`` (the
+    values are appended to ``literals`` in rendering order)."""
+    if expr is None:
+        return "~"
+    if isinstance(expr, Const):
+        literals.append(_literal(expr.value))
+        return "?"
+    if isinstance(expr, Col):
+        return "@" + expr.name
+    if isinstance(expr, Cmp):
+        return (
+            f"({_expr_shape(expr.left, literals)}{expr.op}"
+            f"{_expr_shape(expr.right, literals)})"
+        )
+    if isinstance(expr, And):
+        return "and(" + ",".join(_expr_shape(p, literals) for p in expr.parts) + ")"
+    if isinstance(expr, Or):
+        return "or(" + ",".join(_expr_shape(p, literals) for p in expr.parts) + ")"
+    if isinstance(expr, Not):
+        return "not(" + _expr_shape(expr.inner, literals) + ")"
+    if isinstance(expr, IsNull):
+        tag = "notnull" if expr.negated else "isnull"
+        return tag + "(" + _expr_shape(expr.inner, literals) + ")"
+    if isinstance(expr, InList):
+        # the option *count* stays in the shape: the planner builds one
+        # key range per option, so different counts are different plans
+        literals.extend(_literal(option) for option in expr.options)
+        return (
+            f"in({_expr_shape(expr.inner, literals)},#{len(expr.options)})"
+        )
+    if isinstance(expr, PrefixMatch):
+        literals.append(expr.prefix)
+        return f"prefix(@{expr.column.name},?)"
+    if isinstance(expr, Concat):
+        return "concat(" + ",".join(_expr_shape(p, literals) for p in expr.parts) + ")"
+    # unknown Expr extension: repr is its identity (nothing parameterized)
+    return repr(expr)
+
+
+def query_fingerprint(query: Query) -> Tuple[str, Tuple[Any, ...]]:
+    """``(shape, literals)`` for one query: the normalized query shape
+    with literals parameterized out, plus the literal values in shape
+    order.  Two queries with equal shapes differ only in constants; the
+    shape (plus the stats epoch) keys the plan cache's statistics
+    snapshots, and ``(shape, literals)`` keys whole cached plans."""
+    literals: List[Any] = []
+    parts = [f"t:{query.table.name}/{query.table.alias or ''}"]
+    for join in query.joins:
+        pair_shapes = ",".join(
+            f"{_expr_shape(left, literals)}={_expr_shape(right, literals)}"
+            for left, right in join.pairs
+        )
+        parts.append(
+            f"j:{join.table.name}/{join.table.alias or ''}"
+            f"[{pair_shapes}|{_expr_shape(join.residual, literals)}]"
+        )
+    parts.append("w:" + _expr_shape(query.where, literals))
+    if query.outputs is None:
+        parts.append("o:*")
+    else:
+        parts.append(
+            "o:"
+            + ",".join(
+                f"{name}={_expr_shape(expr, literals)}"
+                for name, expr in query.outputs
+            )
+        )
+    parts.append(
+        "g:"
+        + ",".join(
+            f"{name}={_expr_shape(expr, literals)}" for name, expr in query.group_by
+        )
+    )
+    parts.append(
+        "a:"
+        + ",".join(
+            f"{name}={fn}:{_expr_shape(expr, literals)}"
+            for name, fn, expr in query.aggregates
+        )
+    )
+    parts.append(
+        "ord:"
+        + ",".join(
+            _expr_shape(expr, literals) + ("-" if descending else "+")
+            for expr, descending in query.order_by
+        )
+    )
+    parts.append("h:" + _expr_shape(query.having, literals))
+    # LIMIT/OFFSET/DISTINCT are plan structure (LimitNode arguments),
+    # not predicate literals — they stay in the shape
+    parts.append(f"lim:{query.limit}/{query.offset}/{int(query.distinct)}")
+    return ";".join(parts), tuple(literals)
+
+
+class PlanCache:
+    """Caches physical plans keyed on (query shape, literals, stats epoch).
+
+    Two layers, both epoch-guarded and LRU-bounded:
+
+    * **plans** — ``(shape, literals) -> plan``: an exact repeat reuses
+      the plan object outright (plans are stateless between executions);
+    * **statistics snapshots** — ``shape -> PlannerStats``: a repeat of
+      the same shape with *different* literals re-costs against the
+      recorded statistics instead of sampling the tables, then caches
+      the resulting plan under its own literals.
+
+    The epoch (built by ``Database._stats_epoch``) covers every involved
+    table's ``_version`` mutation counter and index-spec fingerprint
+    plus a catalog DDL counter, so any mutation, index DDL, or
+    drop/recreate invalidates lazily on the next lookup.  Counters:
+    ``hits`` (plan reuse), ``shape_hits`` (snapshot re-plan), ``misses``
+    (full plan with sampling), ``invalidations`` (entries discarded for
+    a stale epoch).
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = max(1, capacity)
+        self._plans: "OrderedDict[Tuple[Any, ...], Tuple[PlanNode, Tuple[Any, ...]]]" = (
+            OrderedDict()
+        )
+        self._snapshots: "OrderedDict[str, Tuple[PlannerStats, Tuple[Any, ...]]]" = (
+            OrderedDict()
+        )
+        self.counters: Dict[str, int] = {
+            "hits": 0,
+            "shape_hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+        }
+        #: outcome of the most recent :meth:`plan` call — EXPLAIN's
+        #: cache annotation reads this
+        self.last_lookup: str = "miss"
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self._snapshots.clear()
+
+    def plan(
+        self, tables: Dict[str, Table], query: Query, epoch: Tuple[Any, ...]
+    ) -> PlanNode:
+        shape, literals = query_fingerprint(query)
+        plan_key = (shape, literals)
+        entry = self._plans.get(plan_key)
+        if entry is not None:
+            plan, plan_epoch = entry
+            if plan_epoch == epoch:
+                self.counters["hits"] += 1
+                self.last_lookup = "hit"
+                self._plans.move_to_end(plan_key)
+                return plan
+            del self._plans[plan_key]
+            self.counters["invalidations"] += 1
+        stats: Optional[PlannerStats] = None
+        snapshot_entry = self._snapshots.get(shape)
+        if snapshot_entry is not None:
+            snapshot, snapshot_epoch = snapshot_entry
+            if snapshot_epoch == epoch:
+                stats = snapshot
+                self._snapshots.move_to_end(shape)
+                self.counters["shape_hits"] += 1
+                self.last_lookup = "shape_hit"
+            else:
+                del self._snapshots[shape]
+                if entry is None:
+                    # don't double-count a lookup that already counted
+                    # its stale plan entry above
+                    self.counters["invalidations"] += 1
+        if stats is None:
+            stats = PlannerStats()
+            self.counters["misses"] += 1
+            self.last_lookup = "miss"
+        plan = plan_query(tables, query, stats=stats)
+        self._plans[plan_key] = (plan, epoch)
+        self._snapshots[shape] = (stats, epoch)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+        while len(self._snapshots) > self.capacity:
+            self._snapshots.popitem(last=False)
+        return plan
 
 
 def _split_predicate_for(
@@ -594,7 +855,7 @@ def _choose_access_path(
     def stats_of(name: str) -> IndexStats:
         stats = stats_cache.get(name)
         if stats is None:
-            stats = stats_cache[name] = table.index_stats(name)
+            stats = stats_cache[name] = _table_index_stats(table, name)
         return stats
 
     # Distinct-key counts per covered column set: any index over exactly
@@ -736,7 +997,7 @@ def _choose_access_path(
             if interval is not None:
                 # histogram-measured bound tightness when available; the
                 # fixed per-bound factors remain the fallback
-                histogram = table.column_histogram(range_column)
+                histogram = _table_histogram(table, range_column)
                 if histogram is not None:
                     fraction = histogram.range_fraction(interval.low, interval.high)
             if fraction is None:
@@ -796,7 +1057,7 @@ def _choose_access_path(
             point_rows = eq_rows(
                 spec.columns[: eq_len + 1], spec.name, width, eq_len + 1
             )
-            histogram = table.column_histogram(range_column)
+            histogram = _table_histogram(table, range_column)
             est = 0.0
             for iv in part_intervals:
                 if _is_point(iv):
@@ -1207,12 +1468,12 @@ def _reorder_safe(
 def _column_distinct(table: Table, column: str) -> float:
     """Estimated distinct values of one column: histogram first, an
     index over exactly that column second, square-root heuristic last."""
-    histogram = table.column_histogram(column)
+    histogram = _table_histogram(table, column)
     if histogram is not None:
         return float(histogram.distinct)
     for spec in table.index_specs.values():
         if spec.columns == (column,):
-            return float(max(1, table.index_stats(spec.name).keys))
+            return float(max(1, _table_index_stats(table, spec.name).keys))
     return max(1.0, float(table.row_count) ** 0.5)
 
 
@@ -1226,7 +1487,7 @@ def _conjunct_selectivity(table: Table, binding: str, part: Expr) -> float:
             return 1.0
         if bound[1] == "=":
             return min(1.0, 1.0 / _column_distinct(table, column))
-        histogram = table.column_histogram(column)
+        histogram = _table_histogram(table, column)
         if histogram is not None:
             pair = (bound[2], bound[1] in (">=", "<="))
             fraction = histogram.range_fraction(
@@ -1375,7 +1636,7 @@ def _best_inlj(
                     if _bound_safe(table, spec.columns[eq_len], values):
                         tail_low, tail_high = interval.low, interval.high
                         tail_sources = set(map(id, interval.sources))
-                        histogram = table.column_histogram(spec.columns[eq_len])
+                        histogram = _table_histogram(table, spec.columns[eq_len])
                         tail_fraction = (
                             histogram.range_fraction(tail_low, tail_high)
                             if histogram is not None
@@ -1725,7 +1986,11 @@ def _naive_join_plan(
 
 
 def plan_query(
-    tables: Dict[str, Table], query: Query, *, naive: bool = False
+    tables: Dict[str, Table],
+    query: Query,
+    *,
+    naive: bool = False,
+    stats: Optional[PlannerStats] = None,
 ) -> PlanNode:
     """Compile a logical query to a physical plan.
 
@@ -1735,8 +2000,25 @@ def plan_query(
     always realized by a ``SortNode`` — the seed planner's behavior,
     kept as the oracle for differential plan-equivalence testing and
     the baseline for planner benchmarks.
-    """
 
+    ``stats`` (a :class:`PlannerStats`) records — or, when already
+    populated for this query's shape, replays — every index-stats and
+    histogram consultation: the plan cache's zero-sampling re-planning
+    path.  ``None`` consults the tables directly (the default,
+    unchanged behavior).
+    """
+    global _ACTIVE_STATS
+    previous = _ACTIVE_STATS
+    _ACTIVE_STATS = None if naive else stats
+    try:
+        return _plan_query_impl(tables, query, naive=naive)
+    finally:
+        _ACTIVE_STATS = previous
+
+
+def _plan_query_impl(
+    tables: Dict[str, Table], query: Query, *, naive: bool = False
+) -> PlanNode:
     def get_table(ref: TableRef) -> Table:
         try:
             return tables[ref.name]

@@ -23,6 +23,11 @@ class Column:
     def __post_init__(self) -> None:
         if not self.name or not self.name.isidentifier():
             raise SchemaError(f"invalid column name: {self.name!r}")
+        if isinstance(self.type, str):
+            # accept SQL-style spellings ("INTEGER", "varchar", ...) so
+            # the ColumnType.parse alias table applies to programmatic
+            # DDL too, not only the SQL front-end
+            object.__setattr__(self, "type", ColumnType.parse(self.type))
         if self.default is not None:
             validate_value(self.type, self.default)
 

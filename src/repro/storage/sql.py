@@ -20,12 +20,18 @@ onto one multi-range union scan), ``[NOT] BETWEEN lo AND hi``
 indexes), and ``[NOT] LIKE 'prefix%'`` (prefix patterns only — the
 shape provenance queries need).  This is intentionally a subset: enough
 to use the engine the way CPDB used MySQL, with readable tests.
+
+``Database.prepare(sql)`` parses a statement once with ``?``
+placeholders in literal positions and returns a
+:class:`PreparedStatement` whose ``execute(params)`` binds values and
+runs through the plan cache — no re-parse, no statistics re-sampling.
+A bare ``?`` passed to :func:`execute_sql` is rejected.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .db import Database
@@ -46,14 +52,14 @@ from .query import JoinSpec, Query, TableRef
 from .schema import Column, IndexSpec, TableSchema
 from .types import ColumnType
 
-__all__ = ["execute_sql", "parse_statement", "SQLError"]
+__all__ = ["execute_sql", "parse_statement", "PreparedStatement", "SQLError"]
 
 _TOKEN_RE = re.compile(
     r"""
     \s*(?:
         (?P<string>'(?:[^']|'')*')
       | (?P<number>-?\d+\.\d+|-?\d+)
-      | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\*|\.)
+      | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\*|\.|\?)
       | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
     )
     """,
@@ -77,6 +83,13 @@ class _Token:
     text: str
 
 
+@dataclass(frozen=True)
+class _Param:
+    """Positional ``?`` placeholder sentinel, substituted at bind time."""
+
+    index: int
+
+
 def _tokenize(sql: str) -> List[_Token]:
     tokens: List[_Token] = []
     position = 0
@@ -95,9 +108,11 @@ def _tokenize(sql: str) -> List[_Token]:
 
 
 class _Parser:
-    def __init__(self, tokens: List[_Token]) -> None:
+    def __init__(self, tokens: List[_Token], allow_params: bool = False) -> None:
         self._tokens = tokens
         self._position = 0
+        self._allow_params = allow_params
+        self.param_count = 0
 
     # ---- token utilities -------------------------------------------
     def peek(self) -> Optional[_Token]:
@@ -152,6 +167,14 @@ class _Parser:
     # ---- literals ---------------------------------------------------
     def literal(self) -> Any:
         token = self.next()
+        if token.kind == "op" and token.text == "?":
+            if not self._allow_params:
+                raise SQLError(
+                    'placeholders ("?") are only valid in prepared statements'
+                )
+            param = _Param(self.param_count)
+            self.param_count += 1
+            return param
         if token.kind == "string":
             return token.text[1:-1].replace("''", "'")
         if token.kind == "number":
@@ -252,9 +275,16 @@ class _Parser:
 
     def _like(self, column: Col) -> Expr:
         pattern = self.literal()
-        if not isinstance(pattern, str) or not pattern.endswith("%") or "%" in pattern[:-1]:
-            raise SQLError("LIKE supports only 'prefix%' patterns")
-        return PrefixMatch(column, pattern[:-1])
+        if isinstance(pattern, _Param):
+            # pattern shape can only be validated once a value is bound
+            return PrefixMatch(column, pattern)  # type: ignore[arg-type]
+        return PrefixMatch(column, _like_prefix(pattern))
+
+
+def _like_prefix(pattern: Any) -> str:
+    if not isinstance(pattern, str) or not pattern.endswith("%") or "%" in pattern[:-1]:
+        raise SQLError("LIKE supports only 'prefix%' patterns")
+    return pattern[:-1]
 
 
 # ----------------------------------------------------------------------
@@ -307,7 +337,10 @@ Statement = Any
 
 
 def parse_statement(sql: str) -> Statement:
-    parser = _Parser(_tokenize(sql))
+    return _parse_with(_Parser(_tokenize(sql)))
+
+
+def _parse_with(parser: _Parser) -> Statement:
     word = parser.accept_word("create", "drop", "insert", "select", "delete", "update")
     if word == "create":
         return _parse_create(parser)
@@ -326,7 +359,7 @@ def parse_statement(sql: str) -> Statement:
         return DeleteStmt(table, where)
     if word == "update":
         return _parse_update(parser)
-    raise SQLError(f"unsupported statement: {sql[:40]!r}")
+    raise SQLError(f"unsupported statement near {parser._context()}")
 
 
 def _parse_create(parser: _Parser) -> Statement:
@@ -378,6 +411,8 @@ def _parse_create_table(parser: _Parser) -> CreateTableStmt:
                     nullable = True
                 elif parser.accept_word("default"):
                     default = parser.literal()
+                    if isinstance(default, _Param):
+                        raise SQLError("placeholders are not allowed in DDL statements")
                 else:
                     break
             columns.append(Column(column_name, column_type, nullable=nullable, default=default))
@@ -590,6 +625,111 @@ def _parse_update(parser: _Parser) -> UpdateStmt:
 
 
 # ----------------------------------------------------------------------
+# Prepared statements
+# ----------------------------------------------------------------------
+
+
+def _bind_value(value: Any, params: Tuple[Any, ...]) -> Any:
+    if isinstance(value, _Param):
+        return params[value.index]
+    return value
+
+
+def _bind_expr(expr: Expr, params: Tuple[Any, ...]) -> Expr:
+    """Rebuild an expression with ``?`` placeholders replaced by values."""
+    if isinstance(expr, Const):
+        if isinstance(expr.value, _Param):
+            return Const(params[expr.value.index])
+        return expr
+    if isinstance(expr, Cmp):
+        return Cmp(expr.op, _bind_expr(expr.left, params), _bind_expr(expr.right, params))
+    if isinstance(expr, And):
+        return And(*(_bind_expr(part, params) for part in expr.parts))
+    if isinstance(expr, Or):
+        return Or(*(_bind_expr(part, params) for part in expr.parts))
+    if isinstance(expr, Not):
+        return Not(_bind_expr(expr.inner, params))
+    if isinstance(expr, IsNull):
+        return IsNull(_bind_expr(expr.inner, params), negated=expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            _bind_expr(expr.inner, params),
+            tuple(_bind_value(option, params) for option in expr.options),
+        )
+    if isinstance(expr, PrefixMatch):
+        if isinstance(expr.prefix, _Param):
+            # the parser deferred pattern validation to bind time
+            return PrefixMatch(expr.column, _like_prefix(params[expr.prefix.index]))
+        return expr
+    return expr
+
+
+def _bind_opt(expr: Optional[Expr], params: Tuple[Any, ...]) -> Optional[Expr]:
+    return None if expr is None else _bind_expr(expr, params)
+
+
+def _bind_statement(statement: Statement, params: Tuple[Any, ...]) -> Statement:
+    if isinstance(statement, SelectStmt):
+        query = statement.query
+        joins = [
+            replace(join, residual=_bind_opt(join.residual, params))
+            for join in query.joins
+        ]
+        return SelectStmt(
+            replace(
+                query,
+                joins=joins,
+                where=_bind_opt(query.where, params),
+                having=_bind_opt(query.having, params),
+            )
+        )
+    if isinstance(statement, InsertStmt):
+        rows = [[_bind_value(value, params) for value in row] for row in statement.rows]
+        return InsertStmt(statement.table, statement.columns, rows)
+    if isinstance(statement, DeleteStmt):
+        return DeleteStmt(statement.table, _bind_opt(statement.where, params))
+    if isinstance(statement, UpdateStmt):
+        changes = {
+            column: _bind_value(value, params)
+            for column, value in statement.changes.items()
+        }
+        return UpdateStmt(statement.table, changes, _bind_opt(statement.where, params))
+    return statement
+
+
+class PreparedStatement:
+    """A statement parsed once and executed many times with bound values.
+
+    ``?`` placeholders mark literal positions (predicates, IN lists,
+    BETWEEN bounds, LIKE patterns, INSERT values, UPDATE assignments).
+    Each :meth:`execute` substitutes the bound values and runs through
+    the database's plan cache: the query *shape* is stable across
+    executions, so repeated runs reuse the cached planner-statistics
+    snapshot (or the whole plan, when values repeat) instead of
+    re-parsing and re-sampling.
+    """
+
+    def __init__(self, db: Database, sql: str) -> None:
+        parser = _Parser(_tokenize(sql), allow_params=True)
+        statement = _parse_with(parser)
+        if isinstance(statement, (CreateTableStmt, CreateIndexStmt, DropTableStmt)):
+            if parser.param_count:
+                raise SQLError("placeholders are not allowed in DDL statements")
+        self._db = db
+        self._statement = statement
+        self.sql = sql
+        self.param_count = parser.param_count
+
+    def execute(self, params: Sequence[Any] = ()) -> List[Dict[str, Any]]:
+        if len(params) != self.param_count:
+            raise SQLError(
+                f"statement takes {self.param_count} parameter(s), got {len(params)}"
+            )
+        bound = _bind_statement(self._statement, tuple(params))
+        return _run_statement(self._db, bound)
+
+
+# ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
 
@@ -597,7 +737,10 @@ def _parse_update(parser: _Parser) -> UpdateStmt:
 def execute_sql(db: Database, sql: str) -> List[Dict[str, Any]]:
     """Parse and execute one statement.  SELECT returns rows as dicts;
     DML returns ``[{"affected": n}]``; DDL returns ``[]``."""
-    statement = parse_statement(sql)
+    return _run_statement(db, parse_statement(sql))
+
+
+def _run_statement(db: Database, statement: Statement) -> List[Dict[str, Any]]:
     if isinstance(statement, CreateTableStmt):
         db.create_table(statement.schema)
         return []

@@ -234,6 +234,16 @@ class Table:
             "multi_range_scan": 0,
             "inlj_probe": 0,
         }
+        #: planner-statistics consultation counters — ``index_stats`` and
+        #: ``histogram_probe`` count calls, ``histogram_build`` counts
+        #: actual (cache-missing) sample builds.  The plan cache's
+        #: "second execution samples nothing" contract is asserted
+        #: against these.
+        self.stats_counts: Dict[str, int] = {
+            "index_stats": 0,
+            "histogram_probe": 0,
+            "histogram_build": 0,
+        }
         for spec in schema.indexes:
             self.create_index(spec)
 
@@ -256,11 +266,41 @@ class Table:
         )
         index: Union[HashIndex, OrderedIndex]
         if spec.ordered:
-            index = OrderedIndex.bulk_build(spec.name, entries, unique=spec.unique)
+            checked = (
+                (self._reject_unordered_key(spec.name, key), rowid)
+                for key, rowid in entries
+            )
+            try:
+                index = OrderedIndex.bulk_build(spec.name, checked, unique=spec.unique)
+            except TypeError as exc:
+                raise ConstraintError(
+                    f"NULL/incomparable key not allowed in ordered index "
+                    f"{spec.name!r}"
+                ) from exc
         else:
             index = HashIndex.bulk_build(spec.name, entries, unique=spec.unique)
         self._indexes[spec.name] = index
         self._index_specs[spec.name] = spec
+        # index DDL changes the viable access paths *and* the statistics
+        # surface (ordered indexes feed histogram sampling), so it must
+        # move the stats epoch or cached histograms/plans survive stale
+        self._version += 1
+
+    def _reject_unordered_key(self, name: str, key: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Validate a key headed for an ordered index and return it.
+
+        NULL components do not compare, so admitting one would either
+        corrupt the sort invariant silently (all-NULL keys compare equal
+        to each other) or surface later as a raw ``TypeError`` halfway
+        through a mutation.  Rejecting up front keeps failures typed and
+        keeps every mutation all-or-nothing.
+        """
+        if any(part is None for part in key):
+            raise ConstraintError(
+                f"NULL/incomparable key not allowed in ordered index "
+                f"{name!r}: {key!r}"
+            )
+        return key
 
     def index_on(self, columns: Sequence[str], ordered: Optional[bool] = None):
         """Find an index covering exactly ``columns`` (order-sensitive)."""
@@ -282,6 +322,7 @@ class Table:
         index object itself: kind, uniqueness, entry count, and a
         distinct-key figure (exact for hash indexes, a bounded-sample
         estimate for ordered ones)."""
+        self.stats_counts["index_stats"] += 1
         index = self._indexes[name]
         spec = self._index_specs[name]
         return IndexStats(
@@ -341,6 +382,7 @@ class Table:
         even stride over the heap.  Sampling knobs:
         ``HISTOGRAM_SAMPLE`` values, ``HISTOGRAM_BINS`` bins.
         """
+        self.stats_counts["histogram_probe"] += 1
         cached = self._histograms.get(column)
         if cached is not None and cached[0] == self._version:
             return cached[1]
@@ -349,6 +391,7 @@ class Table:
         return histogram
 
     def _build_histogram(self, column: str) -> Optional[Histogram]:
+        self.stats_counts["histogram_build"] += 1
         if not self.schema.has_column(column):
             return None
         if self.schema.column(column).type not in _HISTOGRAM_TYPES:
@@ -396,12 +439,23 @@ class Table:
         try:
             for name, index in self._indexes.items():
                 spec = self._index_specs[name]
-                index.insert(self.schema.project(normalized, spec.columns), rowid)
-        except DuplicateKeyError:
-            # roll back the partial index insertions
+                key = self.schema.project(normalized, spec.columns)
+                if spec.ordered:
+                    self._reject_unordered_key(name, key)
+                index.insert(key, rowid)
+        except Exception as exc:
+            # roll back the partial index insertions — on *any* failure,
+            # not just duplicate keys: an escape here after the pk index
+            # was updated would leave a phantom pk entry that blocks the
+            # key forever (no heap row to delete it through)
             self._unindex(rowid, normalized, stop_at=name)
             if self._pk_index is not None:
                 self._pk_index.delete(self.schema.key_of(normalized), rowid)
+            if isinstance(exc, TypeError):
+                # backstop for incomparable non-NULL components
+                raise ConstraintError(
+                    f"NULL/incomparable key not allowed in ordered index {name!r}"
+                ) from exc
             raise
         self._rows[rowid] = normalized
         if rowid <= self._max_seen_rowid:
@@ -451,11 +505,19 @@ class Table:
                 seen.add(key)
         batch_entries: Dict[str, List[Tuple[Tuple[Any, ...], int]]] = {}
         for name, index in self._indexes.items():
-            columns = self._index_specs[name].columns
+            spec = self._index_specs[name]
+            columns = spec.columns
             entries = [
                 (self.schema.project(row, columns), rowid)
                 for row, rowid in zip(normalized, rowids)
             ]
+            if spec.ordered:
+                # same validate-then-apply hole as ``insert``: an ordered
+                # index rejecting a NULL key mid-apply (after the heap,
+                # pk, and stats were mutated) would strand phantoms —
+                # reject in the validate phase instead
+                for key, _rowid in entries:
+                    self._reject_unordered_key(name, key)
             if index.unique:
                 seen = set()
                 for key, _rowid in entries:
@@ -557,11 +619,16 @@ class Table:
                 pk_change = (old_key, new_key)
         changed: List[Tuple[Union[HashIndex, OrderedIndex], Tuple[Any, ...], Tuple[Any, ...]]] = []
         for name, index in self._indexes.items():
-            columns = self._index_specs[name].columns
+            spec = self._index_specs[name]
+            columns = spec.columns
             old_proj = self.schema.project(old, columns)
             new_proj = self.schema.project(new, columns)
             if new_proj == old_proj:
                 continue
+            if spec.ordered:
+                # must fail in the validate phase: a TypeError during the
+                # swap would leave the pk index already moved
+                self._reject_unordered_key(name, new_proj)
             if index.unique and index.lookup(new_proj):
                 raise DuplicateKeyError(
                     f"duplicate key {new_proj!r} in unique index {name!r}"
