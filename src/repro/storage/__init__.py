@@ -13,7 +13,12 @@ Public surface:
 * durability: ``save_snapshot`` / ``load_snapshot`` / ``checkpoint``
   (in :mod:`repro.storage.snapshot`), :class:`RecoveryReport`, and the
   typed corruption errors :class:`WALCorruptionError` /
-  :class:`TransientNetworkError`.
+  :class:`TransientNetworkError`;
+* concurrency: :class:`MVCCManager` / :class:`MVCCTransaction` —
+  snapshot-isolation MVCC with first-committer-wins conflicts
+  (:class:`WriteConflictError`) — and the asyncio front-end
+  :class:`DatabaseServer` / :class:`ThreadedServer` with its batched
+  clients :class:`ServerClient` / :class:`AsyncServerClient`.
 """
 
 from .client import FlakyTransport, RetryPolicy, StoreClient, Transport
@@ -31,6 +36,7 @@ from .errors import (
     UnknownTableError,
     WALCorruptionError,
     WALError,
+    WriteConflictError,
 )
 from .expr import (
     And,
@@ -44,7 +50,14 @@ from .expr import (
     Or,
     PrefixMatch,
 )
+from .mvcc import MVCCManager, MVCCTransaction
 from .query import JoinSpec, Query, TableRef
+from .server import (
+    AsyncServerClient,
+    DatabaseServer,
+    ServerClient,
+    ThreadedServer,
+)
 from .schema import Column, IndexSpec, TableSchema
 from .sql import PreparedStatement, execute_sql
 from .table import Table
@@ -86,8 +99,15 @@ __all__ = [
     "UnknownTableError",
     "UnknownColumnError",
     "TransactionError",
+    "WriteConflictError",
     "SQLError",
     "WALError",
     "WALCorruptionError",
     "TransientNetworkError",
+    "MVCCManager",
+    "MVCCTransaction",
+    "DatabaseServer",
+    "ThreadedServer",
+    "ServerClient",
+    "AsyncServerClient",
 ]

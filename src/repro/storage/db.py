@@ -68,6 +68,9 @@ class Database:
     ) -> None:
         self.name = name
         self.tables: Dict[str, Table] = {}
+        #: fault-injection plan shared with the WAL and the MVCC layer's
+        #: commit protocol (``None`` means no faults)
+        self.faults = faults
         #: cached physical plans keyed on (query shape, literals, stats
         #: epoch) — see :class:`repro.storage.query.PlanCache`.
         #: ``plan_cache_size=0`` disables caching (every ``plan`` call
@@ -300,6 +303,61 @@ class Database:
             table.insert(row)
         finally:
             table._next_rowid = max(saved, rowid + 1)
+
+    def delete_rowid(self, table_name: str, rowid: int) -> Tuple[Any, ...]:
+        """Transactionally delete one row *by row id*; returns the row.
+
+        The MVCC commit protocol replays a transaction's buffered writes
+        against the base tables and already knows exactly which row each
+        one targets — predicate re-evaluation (:meth:`delete_where`)
+        would be wasted work and, worse, could match rows committed
+        after the victim was chosen.  Undo and WAL bookkeeping are
+        identical to a one-victim ``delete_where``.
+        """
+        table = self.table(table_name)
+        implicit = self._autocommit()
+        try:
+            row = table.delete_row(rowid)
+            self._undo.append(_UndoEntry("delete", table_name, rowid, row))
+            if self._wal is not None:
+                self._wal_append(
+                    WalRecord(KIND_DELETE, self._active_txn, table_name, row)
+                )
+        except Exception:
+            if implicit:
+                self.rollback()
+            raise
+        if implicit:
+            self.commit()
+        return row
+
+    def update_rowid(
+        self, table_name: str, rowid: int, changes: Dict[str, Any]
+    ) -> Tuple[Tuple[Any, ...], Tuple[Any, ...]]:
+        """Transactionally update one row *by row id*; returns
+        ``(old, new)``.  Companion of :meth:`delete_rowid` for MVCC
+        commit replay; modeled as delete+insert in the undo log and WAL,
+        exactly like one ``update_where`` victim."""
+        table = self.table(table_name)
+        implicit = self._autocommit()
+        try:
+            old, new = table.update_row(rowid, changes)
+            self._undo.append(_UndoEntry("delete", table_name, rowid, old))
+            self._undo.append(_UndoEntry("insert", table_name, rowid, new))
+            if self._wal is not None:
+                self._wal_append(
+                    WalRecord(KIND_DELETE, self._active_txn, table_name, old)
+                )
+                self._wal_append(
+                    WalRecord(KIND_INSERT, self._active_txn, table_name, new)
+                )
+        except Exception:
+            if implicit:
+                self.rollback()
+            raise
+        if implicit:
+            self.commit()
+        return old, new
 
     def delete_where(
         self, table_name: str, predicate: Optional[Expr] = None, *, naive: bool = False
@@ -573,10 +631,14 @@ class Database:
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Per-table row/byte figures plus the plan cache's counters
         under the reserved ``"plan_cache"`` key (hits / shape_hits /
-        misses / invalidations; all zero when caching is disabled)."""
+        misses / invalidations; all zero when caching is disabled).
+
+        Each table's pair comes from :meth:`Table.stats_snapshot`, so a
+        reader interleaved with an active writer (the asyncio server
+        answering ``stats`` between a peer's mutations) sees a
+        consistent point-in-time pair, never a torn one."""
         out: Dict[str, Dict[str, int]] = {
-            name: {"rows": table.row_count, "bytes": table.byte_size}
-            for name, table in self.tables.items()
+            name: table.stats_snapshot() for name, table in self.tables.items()
         }
         out["plan_cache"] = (
             dict(self.plan_cache.counters)

@@ -10,6 +10,7 @@ __all__ = [
     "UnknownTableError",
     "UnknownColumnError",
     "TransactionError",
+    "WriteConflictError",
     "SQLError",
     "WALError",
     "WALCorruptionError",
@@ -53,6 +54,28 @@ class AmbiguousColumnError(StorageError):
 
 class TransactionError(StorageError):
     """Invalid transaction state transition (e.g. commit without begin)."""
+
+
+class WriteConflictError(TransactionError):
+    """First-committer-wins: a snapshot-isolation transaction tried to
+    commit a write to a row that another transaction — one that
+    committed after this transaction's snapshot was taken — already
+    wrote.  The losing transaction is rolled back; retrying it against a
+    fresh snapshot is the client's job (and usually succeeds).
+
+    ``table`` and ``rowids`` name the contended rows when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        table: "str | None" = None,
+        rowids: "tuple | None" = None,
+    ) -> None:
+        self.table = table
+        self.rowids = rowids
+        super().__init__(message)
 
 
 class SQLError(StorageError):

@@ -218,6 +218,16 @@ class Table:
         #: (histograms) that must notice updates-in-place, which leave
         #: ``row_count`` unchanged
         self._version = 0
+        #: seqlock for statistics readers: odd while a structural
+        #: mutation is in flight, bumped again when it finishes.
+        #: :meth:`stats_snapshot` retries until it reads an even,
+        #: unchanged sequence, so a concurrent reader can never observe
+        #: a torn (rows, bytes) pair mid-mutation.
+        self._stats_seq = 0
+        #: test seam: called between the two reads of
+        #: :meth:`stats_snapshot` so the torn-read retry is
+        #: deterministically exercisable (None in production)
+        self._torn_read_hook = None
         self._histograms: Dict[str, Tuple[int, Optional[Histogram]]] = {}
         #: per-access-path call counters (one increment per *scan*, not
         #: per row) — instrumentation for tests asserting e.g. that a
@@ -430,41 +440,46 @@ class Table:
         normalized = self.schema.normalize_row(row)
         rowid = self._next_rowid
         if self._pk_index is not None:
-            key = self.schema.key_of(normalized)
-            if any(part is None for part in key):
+            pk_key = self.schema.key_of(normalized)
+            if any(part is None for part in pk_key):
                 raise ConstraintError(
                     f"primary key of {self.schema.name!r} may not contain NULL"
                 )
-            self._pk_index.insert(key, rowid)
+        self._stats_seq += 1
         try:
-            for name, index in self._indexes.items():
-                spec = self._index_specs[name]
-                key = self.schema.project(normalized, spec.columns)
-                if spec.ordered:
-                    self._reject_unordered_key(name, key)
-                index.insert(key, rowid)
-        except Exception as exc:
-            # roll back the partial index insertions — on *any* failure,
-            # not just duplicate keys: an escape here after the pk index
-            # was updated would leave a phantom pk entry that blocks the
-            # key forever (no heap row to delete it through)
-            self._unindex(rowid, normalized, stop_at=name)
             if self._pk_index is not None:
-                self._pk_index.delete(self.schema.key_of(normalized), rowid)
-            if isinstance(exc, TypeError):
-                # backstop for incomparable non-NULL components
-                raise ConstraintError(
-                    f"NULL/incomparable key not allowed in ordered index {name!r}"
-                ) from exc
-            raise
-        self._rows[rowid] = normalized
-        if rowid <= self._max_seen_rowid:
-            self._rows_ordered = False  # re-inserted old id lands at dict end
-        else:
-            self._max_seen_rowid = rowid
-        self._next_rowid += 1
-        self._byte_size += self.schema.row_bytes(normalized)
-        self._stats_add(normalized)
+                self._pk_index.insert(pk_key, rowid)
+            try:
+                for name, index in self._indexes.items():
+                    spec = self._index_specs[name]
+                    key = self.schema.project(normalized, spec.columns)
+                    if spec.ordered:
+                        self._reject_unordered_key(name, key)
+                    index.insert(key, rowid)
+            except Exception as exc:
+                # roll back the partial index insertions — on *any* failure,
+                # not just duplicate keys: an escape here after the pk index
+                # was updated would leave a phantom pk entry that blocks the
+                # key forever (no heap row to delete it through)
+                self._unindex(rowid, normalized, stop_at=name)
+                if self._pk_index is not None:
+                    self._pk_index.delete(self.schema.key_of(normalized), rowid)
+                if isinstance(exc, TypeError):
+                    # backstop for incomparable non-NULL components
+                    raise ConstraintError(
+                        f"NULL/incomparable key not allowed in ordered index {name!r}"
+                    ) from exc
+                raise
+            self._rows[rowid] = normalized
+            if rowid <= self._max_seen_rowid:
+                self._rows_ordered = False  # re-inserted old id lands at dict end
+            else:
+                self._max_seen_rowid = rowid
+            self._next_rowid += 1
+            self._byte_size += self.schema.row_bytes(normalized)
+            self._stats_add(normalized)
+        finally:
+            self._stats_seq += 1
         return rowid
 
     def bulk_insert(self, rows: Sequence["Sequence[Any] | Dict[str, Any]"]) -> List[int]:
@@ -529,36 +544,40 @@ class Table:
             batch_entries[name] = entries
 
         # -- apply ------------------------------------------------------
-        for row, rowid in zip(normalized, rowids):
-            self._rows[rowid] = row
-            self._byte_size += self.schema.row_bytes(row)
-            self._stats_add(row)
-        self._next_rowid = rowids[-1] + 1
-        self._max_seen_rowid = rowids[-1]  # fresh ids: dict stays ordered
-        if self._pk_index is not None:
+        self._stats_seq += 1
+        try:
             for row, rowid in zip(normalized, rowids):
-                self._pk_index.insert(self.schema.key_of(row), rowid)
-        for name, entries in batch_entries.items():
-            index = self._indexes[name]
-            spec = self._index_specs[name]
-            if isinstance(index, OrderedIndex):
-                if len(index) == 0:
-                    self._indexes[name] = OrderedIndex.bulk_build(
-                        spec.name, entries, unique=spec.unique
-                    )
-                elif len(entries) >= _MERGE_REBUILD_RATIO * len(index):
-                    entries.sort()
-                    merged = merge(index.items(), entries)
-                    self._indexes[name] = OrderedIndex.bulk_build(
-                        spec.name, merged, unique=spec.unique, presorted=True
-                    )
+                self._rows[rowid] = row
+                self._byte_size += self.schema.row_bytes(row)
+                self._stats_add(row)
+            self._next_rowid = rowids[-1] + 1
+            self._max_seen_rowid = rowids[-1]  # fresh ids: dict stays ordered
+            if self._pk_index is not None:
+                for row, rowid in zip(normalized, rowids):
+                    self._pk_index.insert(self.schema.key_of(row), rowid)
+            for name, entries in batch_entries.items():
+                index = self._indexes[name]
+                spec = self._index_specs[name]
+                if isinstance(index, OrderedIndex):
+                    if len(index) == 0:
+                        self._indexes[name] = OrderedIndex.bulk_build(
+                            spec.name, entries, unique=spec.unique
+                        )
+                    elif len(entries) >= _MERGE_REBUILD_RATIO * len(index):
+                        entries.sort()
+                        merged = merge(index.items(), entries)
+                        self._indexes[name] = OrderedIndex.bulk_build(
+                            spec.name, merged, unique=spec.unique, presorted=True
+                        )
+                    else:
+                        for key, rowid in entries:
+                            index.insert(key, rowid)
                 else:
+                    # hash buckets are O(1) per entry either way
                     for key, rowid in entries:
                         index.insert(key, rowid)
-            else:
-                # hash buckets are O(1) per entry either way
-                for key, rowid in entries:
-                    index.insert(key, rowid)
+        finally:
+            self._stats_seq += 1
         return rowids
 
     def _unindex(self, rowid: int, row: Row, stop_at: Optional[str] = None) -> None:
@@ -570,17 +589,20 @@ class Table:
 
     def delete_row(self, rowid: int) -> Row:
         """Delete by row id; returns the removed row."""
+        if rowid not in self._rows:
+            raise ConstraintError(f"no row with id {rowid} in {self.schema.name!r}")
+        self._stats_seq += 1
         try:
             row = self._rows.pop(rowid)
-        except KeyError:
-            raise ConstraintError(f"no row with id {rowid} in {self.schema.name!r}") from None
-        if self._pk_index is not None:
-            self._pk_index.delete(self.schema.key_of(row), rowid)
-        for name, index in self._indexes.items():
-            spec = self._index_specs[name]
-            index.delete(self.schema.project(row, spec.columns), rowid)
-        self._byte_size -= self.schema.row_bytes(row)
-        self._stats_remove(row)
+            if self._pk_index is not None:
+                self._pk_index.delete(self.schema.key_of(row), rowid)
+            for name, index in self._indexes.items():
+                spec = self._index_specs[name]
+                index.delete(self.schema.project(row, spec.columns), rowid)
+            self._byte_size -= self.schema.row_bytes(row)
+            self._stats_remove(row)
+        finally:
+            self._stats_seq += 1
         return row
 
     def update_row(self, rowid: int, changes: Dict[str, Any]) -> Tuple[Row, Row]:
@@ -636,30 +658,38 @@ class Table:
             changed.append((index, old_proj, new_proj))
 
         # -- swap -------------------------------------------------------
-        if pk_change is not None:
-            self._pk_index.delete(pk_change[0], rowid)
-            self._pk_index.insert(pk_change[1], rowid)
-        for index, old_proj, new_proj in changed:
-            index.delete(old_proj, rowid)
-            index.insert(new_proj, rowid)
-        self._rows[rowid] = new
-        self._byte_size += self.schema.row_bytes(new) - self.schema.row_bytes(old)
-        self._stats_remove(old)
-        self._stats_add(new)
+        self._stats_seq += 1
+        try:
+            if pk_change is not None:
+                self._pk_index.delete(pk_change[0], rowid)
+                self._pk_index.insert(pk_change[1], rowid)
+            for index, old_proj, new_proj in changed:
+                index.delete(old_proj, rowid)
+                index.insert(new_proj, rowid)
+            self._rows[rowid] = new
+            self._byte_size += self.schema.row_bytes(new) - self.schema.row_bytes(old)
+            self._stats_remove(old)
+            self._stats_add(new)
+        finally:
+            self._stats_seq += 1
         return old, new
 
     def clear(self) -> None:
-        self._rows.clear()
-        self._version += 1
-        self._byte_size = 0
-        self._rows_ordered = True
-        self._max_seen_rowid = 0
-        if self._pk_index is not None:
-            self._pk_index.clear()
-        for index in self._indexes.values():
-            index.clear()
-        for _position, stat in self._max_stats.values():
-            stat.clear()
+        self._stats_seq += 1
+        try:
+            self._rows.clear()
+            self._version += 1
+            self._byte_size = 0
+            self._rows_ordered = True
+            self._max_seen_rowid = 0
+            if self._pk_index is not None:
+                self._pk_index.clear()
+            for index in self._indexes.values():
+                index.clear()
+            for _position, stat in self._max_stats.values():
+                stat.clear()
+        finally:
+            self._stats_seq += 1
 
     # ------------------------------------------------------------------
     # Access paths
@@ -770,6 +800,82 @@ class Table:
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, int]:
+        """A consistent point-in-time ``{"rows": ..., "bytes": ...}`` pair.
+
+        ``row_count`` and ``byte_size`` are two separate reads; a writer
+        interleaved between them (cooperative concurrency — a
+        generator-driven scheduler, an asyncio server switching
+        connections mid-handler) would hand back a pair describing a
+        state the table never occupied.  Seqlock discipline fixes it:
+        every structural mutation holds ``_stats_seq`` odd for its
+        duration, and this reader retries until the sequence is even and
+        unchanged across both reads.
+        """
+        while True:
+            seq = self._stats_seq
+            rows = len(self._rows)
+            if self._torn_read_hook is not None:
+                # test seam: a one-shot hook mutates the table *between*
+                # the two reads, forcing the retry path
+                hook, self._torn_read_hook = self._torn_read_hook, None
+                hook()
+            size = self._byte_size
+            if seq == self._stats_seq and seq % 2 == 0:
+                return {"rows": rows, "bytes": size}
+
+    def counters_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Point-in-time *copies* of the access-path and planner-stats
+        counters — safe to iterate, diff, or serialize while the live
+        dicts keep moving under a concurrent writer (iterating the
+        shared dicts directly raises ``RuntimeError: dictionary changed
+        size`` the day a counter key is added mid-iteration, and yields
+        torn mixes of before/after values every day)."""
+        return {
+            "access": dict(self.access_counts),
+            "stats": dict(self.stats_counts),
+        }
+
+    @classmethod
+    def _from_snapshot(
+        cls,
+        schema: TableSchema,
+        rows: Dict[int, Row],
+        index_specs: Sequence[IndexSpec],
+        byte_size: Optional[int] = None,
+    ) -> "Table":
+        """Materialize a table holding exactly ``rows`` (rowid -> row),
+        *preserving row ids*, with ``index_specs`` rebuilt over them.
+
+        This is the MVCC layer's shadow-table constructor: snapshot
+        views and transaction workspaces reconstruct historical row
+        states and must keep the base table's row ids so rowid-level
+        conflict bookkeeping and commit replay line up across versions.
+        Indexes take the bulk-build path (one sort each), not per-row
+        inserts; ``byte_size`` may be supplied when the caller already
+        maintains it incrementally (skipping an O(n) re-encode).
+        """
+        table = cls(schema)
+        table._indexes.clear()
+        table._index_specs.clear()
+        ordered = dict(sorted(rows.items()))
+        table._rows = ordered
+        if ordered:
+            table._max_seen_rowid = max(ordered)
+            table._next_rowid = table._max_seen_rowid + 1
+        table._byte_size = (
+            byte_size
+            if byte_size is not None
+            else sum(schema.row_bytes(row) for row in ordered.values())
+        )
+        if table._pk_index is not None:
+            key_of = schema.key_of
+            for rowid, row in ordered.items():
+                table._pk_index.insert(key_of(row), rowid)
+        for spec in index_specs:
+            table.create_index(spec)
+        return table
+
     @property
     def row_count(self) -> int:
         return len(self._rows)

@@ -95,6 +95,53 @@ def _tree_of(children: dict) -> Tree:
     return node
 
 
+# ----------------------------------------------------------------------
+# MVCC schedule interleavings
+# ----------------------------------------------------------------------
+
+#: Tiny key space so concurrent transactions collide constantly —
+#: collisions are where snapshot visibility and first-committer-wins
+#: bookkeeping can go wrong.
+MVCC_KEYS = (1, 2, 3, 4)
+MVCC_VALUES = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def mvcc_schedules(
+    draw,
+    max_clients: int = 4,
+    max_steps: int = 30,
+) -> Tuple[dict, List[tuple]]:
+    """Draw ``(initial kv state, interleaved schedule)`` for the
+    concurrent-history checker (see
+    :func:`repro.workloads.concurrent.run_kv_schedule` for the step
+    language).
+
+    Steps from different clients interleave freely; commits, rollbacks,
+    deletes, and blind upserts are all drawn, so the schedule space
+    covers dirty-read, non-repeatable-read, lost-update, and
+    first-committer-wins scenarios without hand-writing them.
+    """
+    n_clients = draw(st.integers(min_value=2, max_value=max_clients))
+    clients = st.integers(min_value=0, max_value=n_clients - 1)
+    keys = st.sampled_from(MVCC_KEYS)
+    initial = draw(
+        st.dictionaries(keys, MVCC_VALUES, min_size=0, max_size=len(MVCC_KEYS))
+    )
+    step = st.one_of(
+        st.tuples(st.just("begin"), clients),
+        st.tuples(st.just("read"), clients, keys),
+        st.tuples(st.just("read"), clients, keys),
+        st.tuples(st.just("write"), clients, keys, MVCC_VALUES),
+        st.tuples(st.just("write"), clients, keys, MVCC_VALUES),
+        st.tuples(st.just("delete"), clients, keys),
+        st.tuples(st.just("commit"), clients),
+        st.tuples(st.just("rollback"), clients),
+    )
+    schedule = draw(st.lists(step, min_size=1, max_size=max_steps))
+    return initial, schedule
+
+
 @st.composite
 def scripts(draw, min_ops: int = 1, max_ops: int = 12) -> Tuple[Workspace, List[Update]]:
     """Draw ``(initial workspace, valid update script)``.
