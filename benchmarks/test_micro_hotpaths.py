@@ -29,7 +29,7 @@ from pathlib import Path as FsPath
 import pytest
 
 from repro.core.paths import Path
-from repro.core.provenance import ProvRecord, ProvTable
+from repro.core.provenance import ProvRecord, ProvTable, _record_order
 from repro.core.tree import Tree
 from repro.datalog.ast import Atom, Literal, Rule, Var
 from repro.datalog.engine import Program
@@ -39,9 +39,10 @@ from repro.storage.query import JoinSpec, Query, TableRef, plan_query
 from repro.storage.schema import Column, IndexSpec, TableSchema
 from repro.storage.table import Table
 from repro.storage.types import ColumnType
+from repro.xmldb.axes import descendants_by_label
 from repro.xmldb.index import ElementIndex, evaluate_indexed
 from repro.xmldb.store import XMLDatabase
-from repro.xmldb.xpath import XPath
+from repro.xmldb.xpath import XPath, base_label
 
 
 def _scale() -> int:
@@ -990,3 +991,161 @@ def test_datalog_indexed_join():
     seed_s, new_s = gated_ab(lambda: solve(False), lambda: solve(True), 5.0)
     speedup = record("datalog_indexed_join", seed_s, new_s, 5.0, edges=n)
     assert speedup >= gate(5.0)
+
+
+def test_xml_axis_scan():
+    """Descendant axis scans off the interval encoding: one staircase
+    multi-range sweep of the ``(base_label, pre)`` index per (contexts,
+    label) pair (counter-asserted) vs the seed evaluator — a pointer DFS
+    from every context node that visits and label-tests each descendant.
+    The interval side's work is proportional to the *matches*; the
+    walk's is proportional to the subtree sizes, which is why the gap
+    widens with fan-out."""
+    molecules = 150 * SCALE
+    db = make_xml_store(molecules)
+    index = ElementIndex(db)
+    contexts = list(index.lookup_iter("molecule"))  # document (pre) order
+    labels = ["interaction", "partner", "name"]
+    repeats = 4
+
+    def walk_axis(label: str) -> list:
+        # the seed descendant step, verbatim: depth-first pointer chase
+        # from each context, label-testing every visited node
+        out = []
+        for root in contexts:
+            stack = [
+                cid
+                for _label, cid in sorted(
+                    db._nodes[root].children.items(), reverse=True
+                )
+            ]
+            while stack:
+                nid = stack.pop()
+                node_label = db.label_of(nid)
+                if node_label == label or base_label(node_label) == label:
+                    out.append(nid)
+                stack.extend(
+                    cid
+                    for _label, cid in sorted(
+                        db._nodes[nid].children.items(), reverse=True
+                    )
+                )
+        return out
+
+    for label in labels:  # identical ids, identical document order
+        assert walk_axis(label) == descendants_by_label(db, contexts, label)
+
+    before = dict(db.access_counts)
+    matched = descendants_by_label(db, contexts, "partner")
+    assert matched
+    assert db.access_counts["multi_range_scan"] == before["multi_range_scan"] + 1
+    assert db.access_counts["range_scan"] == before["range_scan"]  # no per-node reads
+
+    def run_walk():
+        for _ in range(repeats):
+            for label in labels:
+                walk_axis(label)
+
+    def run_interval():
+        for _ in range(repeats):
+            for label in labels:
+                descendants_by_label(db, contexts, label)
+
+    seed_s, new_s = gated_ab(run_walk, run_interval, 3.0)
+    speedup = record(
+        "xml_axis_scan",
+        seed_s,
+        new_s,
+        3.0,
+        nodes=db.node_count(),
+        contexts=len(contexts),
+        labels=len(labels),
+        repeats=repeats,
+    )
+    assert speedup >= gate(3.0)
+
+
+def test_prov_ancestor_coverage():
+    """Ancestor-coverage probes (the hot inner fetch of ``infer_at``,
+    ``trace`` and ``getMod``): the whole probe chain of a deep location
+    resolves in one presorted multi-range pass with the ``tid <= bound``
+    cut pushed into the index tail (counter-asserted) vs the seed
+    ``_fetch_for`` — one separate index probe per ancestor, each
+    fetching and parsing *all* tids at that location and filtering the
+    time-travel bound client-side, because the seed's per-loc lookup
+    could not push a tid range into its ``(loc,)`` key."""
+    n_chains = 40 * SCALE
+    depth = 12
+    history = 24  # records per touched location, spread across tids
+    rng = random.Random(47)
+    prov = ProvTable()
+    texts, records, tid = [], [], 0
+    for c in range(n_chains):
+        segments = [f"T/g{c % 25}/m{c}"] + [f"n{d}" for d in range(depth)]
+        texts.append("/".join(segments))
+        parts = texts[-1].split("/")
+        for cut in rng.sample(range(2, len(parts)), 4):
+            for _ in range(history):
+                tid += 1
+                records.append(
+                    ProvRecord(tid, "I", Path.parse("/".join(parts[:cut])))
+                )
+    rng.shuffle(records)  # histories interleave across locations
+    prov.write_batch(records, category="bench")
+    bound = tid // 16  # deep time travel: most of each history is out of window
+    chains = [Path.parse(text).probe_chain() for text in texts]
+    index_name = f"{prov.table_name}_loc"
+    table = prov._table
+
+    def serial():
+        # the seed _fetch_for, verbatim: one index probe per ancestor,
+        # every row at the location parsed and sorted (the seed's (loc,)
+        # key has no tid component), the version window filtered after
+        out = []
+        for chain in chains:
+            rows = []
+            for ancestor in chain:
+                text = str(ancestor)
+                rows.extend(
+                    row
+                    for _rid, row in table.range_scan(
+                        index_name, low=(text,), high=(text, MAX_KEY)
+                    )
+                )
+            fetched = sorted(
+                (ProvRecord.from_row(row) for row in rows), key=_record_order
+            )
+            out.extend(rec for rec in fetched if rec.tid <= bound)
+        return out
+
+    def batched():  # records_at_locs: one probe pass, bound in the tail
+        out = []
+        for chain in chains:
+            out.extend(
+                prov.records_at_locs(chain, category="bench", max_tid=bound)
+            )
+        return out
+
+    assert [rec.as_row() for rec in serial()] == [
+        rec.as_row() for rec in batched()
+    ]  # identical record sequences
+    before = dict(table.access_counts)
+    result = prov.records_at_locs(chains[0], category="bench", max_tid=bound)
+    assert result is not None
+    assert table.access_counts["inlj_probe"] == before["inlj_probe"] + 1
+    assert table.access_counts["multi_range_scan"] == before["multi_range_scan"] + 1
+    assert table.access_counts["range_scan"] == before["range_scan"]  # one pass
+
+    seed_s, new_s = gated_ab(serial, batched, 3.0)
+    speedup = record(
+        "prov_ancestor_coverage",
+        seed_s,
+        new_s,
+        3.0,
+        rows=len(records),
+        chains=n_chains,
+        chain_len=depth + 3,
+        history=history,
+        bound=bound,
+    )
+    assert speedup >= gate(3.0)

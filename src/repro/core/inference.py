@@ -18,9 +18,12 @@ Two forms are provided:
 
 * :func:`infer_at` — the on-the-fly point lookup CPDB actually uses
   ("Prov is calculated from HProv as necessary for paths in T"): find
-  the nearest ancestor with an explicit record and rebase.  Each
-  ancestor probe is a charged store round trip, which is what makes some
-  queries slower on hierarchical stores (Figure 13).
+  the nearest ancestor with an explicit record and rebase.  The whole
+  ancestor chain is fetched as *one* presorted multi-range probe of the
+  ``(loc, tid)`` index (one charged round trip, ``tid`` pinned as both
+  head and tail bound so every range is an exact point probe); the
+  nearest-ancestor rebase then happens client-side over the fetched
+  batch, mirroring ``ProvQueries._effective_from``.
 * :func:`expand` — materialize the full table for one transaction, given
   the tree states before and after it (inserted/copied paths are
   enumerated from the post-state, deleted paths from the pre-state).
@@ -29,7 +32,7 @@ Two forms are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from .paths import Path
 from .provenance import OP_COPY, OP_DELETE, OP_INSERT, ProvRecord, ProvTable
@@ -42,21 +45,50 @@ __all__ = ["infer_at", "expand", "expand_all"]
 def infer_at(table: ProvTable, tid: int, loc: Path) -> Optional[ProvRecord]:
     """Effective provenance record for ``(tid, loc)`` under hierarchical
     inference: the explicit record if present, otherwise the nearest
-    ancestor's record rebased to ``loc``.  ``None`` means unchanged."""
-    record = table.record_at(tid, loc)
-    if record is not None:
-        return record
-    for ancestor in loc.ancestors():
-        if len(ancestor) < 1:
-            break  # never look above the database root
-        record = table.record_at(tid, ancestor)
+    ancestor's record rebased to ``loc``.  ``None`` means unchanged.
+
+    One batched probe, not a round trip per ancestor: ``loc`` plus its
+    proper ancestors (:meth:`Path.probe_chain`, duplicates deduped by
+    the batch) go through :meth:`ProvTable.records_at_locs` with ``tid``
+    pushed as both the head and tail bound, so the ``(loc, tid)`` index
+    answers the whole chain in a single presorted multi-range pass of
+    exact point probes."""
+    chain = loc.probe_chain()
+    found: Dict[Path, ProvRecord] = {
+        record.loc: record
+        for record in table.records_at_locs(chain, max_tid=tid, min_tid=tid)
+    }
+    for ancestor in chain:
+        record = found.get(ancestor)
         if record is None:
             continue
+        if ancestor == loc:
+            return record
         if record.op == OP_COPY:
             assert record.src is not None
             return ProvRecord(tid, OP_COPY, loc, loc.rebase(ancestor, record.src))
         return ProvRecord(tid, record.op, loc)
     return None
+
+
+def _iter_locs_under(base: Path, subtree: Tree) -> Iterator[Path]:
+    """Proper descendant locations of ``base`` in document order.
+
+    Sibling labels are visited sorted, so the stream is exactly
+    ascending ``Path.sort_key`` order — the same total order the
+    interval encoding's ``pre`` rank induces on a store
+    (:mod:`repro.xmldb.store`).  Iterative (explicit stack, children
+    pushed reverse-sorted) so arbitrarily deep subtrees cannot exhaust
+    the Python recursion limit."""
+    stack = [
+        (base.child(label), subtree.children[label])
+        for label in sorted(subtree.children, reverse=True)
+    ]
+    while stack:
+        loc, node = stack.pop()
+        yield loc
+        for label in sorted(node.children, reverse=True):
+            stack.append((loc.child(label), node.children[label]))
 
 
 def _expand_down(
@@ -66,26 +98,39 @@ def _expand_down(
     out: List[ProvRecord],
 ) -> None:
     """Emit inferred child records below ``record.loc``, stopping at
-    locations with their own explicit record.  Iterative (explicit
-    work stack) so arbitrarily deep subtrees cannot exhaust the Python
-    recursion limit; children are pushed reverse-sorted so they pop —
-    and are appended to ``out`` — in the same depth-first label order
-    the recursive form produced."""
-    stack = [(record, subtree)]
-    while stack:
-        parent, node = stack.pop()
-        for label in sorted(node.children, reverse=True):
-            child_loc = parent.loc.child(label)
-            if child_loc in explicit:
-                continue  # Infer(t, child) fails; the explicit record rules
-            if parent.op == OP_COPY:
-                assert parent.src is not None
-                child = ProvRecord(parent.tid, OP_COPY, child_loc, parent.src.child(label))
-            else:
-                child = ProvRecord(parent.tid, parent.op, child_loc)
-            stack.append((child, node.children[label]))
-        if parent is not record:
-            out.append(parent)
+    locations with their own explicit record.
+
+    A presorted one-pass merge over the hierarchy encoding's order: the
+    subtree's locations stream in document order
+    (:func:`_iter_locs_under`), the explicit records under ``record.loc``
+    mark covered prefix *intervals* in that same order (a location's
+    descendants are contiguous after it, exactly like a ``(pre, post)``
+    window), and one cursor over the sorted blockers skips each covered
+    interval — no per-node membership test against every explicit
+    record, and no descent state to thread: an inferred record is
+    derived from ``record`` directly (op inherited; COPY sources rebased
+    with :meth:`Path.rebase`)."""
+    blockers = sorted(
+        (other for other in explicit if other != record.loc and record.loc < other),
+        key=Path.sort_key,
+    )
+    cursor, fence = 0, len(blockers)
+    for loc in _iter_locs_under(record.loc, subtree):
+        while (
+            cursor < fence
+            and blockers[cursor].sort_key() < loc.sort_key()
+            and not blockers[cursor].is_prefix_of(loc)
+        ):
+            cursor += 1  # that blocker's interval ended before ``loc``
+        if cursor < fence and blockers[cursor].is_prefix_of(loc):
+            continue  # inside a covered interval: the explicit record rules
+        if record.op == OP_COPY:
+            assert record.src is not None
+            out.append(
+                ProvRecord(record.tid, OP_COPY, loc, loc.rebase(record.loc, record.src))
+            )
+        else:
+            out.append(ProvRecord(record.tid, record.op, loc))
 
 
 def expand(

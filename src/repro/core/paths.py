@@ -22,7 +22,7 @@ and hashing are still structural.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 __all__ = ["Label", "Path", "PathError", "ROOT"]
 
@@ -226,6 +226,20 @@ class Path:
         start = len(self._labels) if include_self else len(self._labels) - 1
         for n in range(start, -1, -1):
             yield Path._intern(self._labels[:n])
+
+    def probe_chain(self) -> List["Path"]:
+        """``[self, parent, ..., top-level]`` — every location whose
+        explicit record could cover ``self`` under hierarchical
+        inference (never the database root).  Closest-first, so callers
+        can stop at the first hit; the whole chain is fetched as one
+        batched multi-range probe
+        (:meth:`repro.core.provenance.ProvTable.records_at_locs`)."""
+        chain = [self]
+        for ancestor in self.ancestors():
+            if len(ancestor) < 1:
+                break
+            chain.append(ancestor)
+        return chain
 
     # ------------------------------------------------------------------
     # Dunder plumbing

@@ -210,6 +210,7 @@ class ProvTable:
         locs: Sequence[Path],
         category: str = "query",
         max_tid: Optional[int] = None,
+        min_tid: Optional[int] = None,
     ) -> List[ProvRecord]:
         """Records at any of ``locs``, in *one* round trip **and one
         index pass** — the batch read behind the trace walks and
@@ -225,13 +226,20 @@ class ProvTable:
         N locations charge one round trip and execute one presorted
         multi-range union pass (counter-asserted via ``multi_range_scan``
         *and* the join operator's ``inlj_probe`` counter).  Duplicate
-        locations are probed once, IN-list set semantics."""
+        locations are probed once, IN-list set semantics.
+
+        ``min_tid`` optionally pushes a head bound as the probe ranges'
+        ``tail_low`` — with ``min_tid == max_tid`` the batch degenerates
+        to exact ``(loc, tid)`` point probes, the shape
+        :func:`repro.core.inference.infer_at` uses for its one-pass
+        ancestor rebase."""
         texts = sorted({str(loc) for loc in locs})
         join = IndexNestedLoopJoin(
             ValuesNode([{"loc": text} for text in texts]),
             self._table,
             f"{self.table_name}_loc",
             (Col("loc"),),
+            tail_low=None if min_tid is None else (min_tid, True),
             tail_high=None if max_tid is None else (max_tid, True),
             chunk=0,  # the batch is one charged round trip: one probe pass
         )

@@ -103,12 +103,7 @@ class ProvenanceQueries:
         ``IndexNestedLoopJoin`` probe pass, with ``bound`` as the
         join's tail range — so a trace step or ancestor-coverage fetch
         charges one round trip *and* executes one index pass."""
-        locs = [position]
-        if self.store.hierarchical:
-            for ancestor in position.ancestors():
-                if len(ancestor) < 1:
-                    break
-                locs.append(ancestor)
+        locs = position.probe_chain() if self.store.hierarchical else [position]
         records = self.table.records_at_locs(locs, max_tid=bound)
         return {(record.tid, record.loc): record for record in records}
 

@@ -28,6 +28,7 @@ __all__ = [
     "FilterNode",
     "ProjectNode",
     "HashJoinNode",
+    "HashSemiJoinNode",
     "IndexNestedLoopJoin",
     "NestedLoopJoinNode",
     "SortNode",
@@ -497,6 +498,53 @@ class HashJoinNode(PlanNode):
         return (self.left, self.right)
 
 
+@dataclass
+class HashSemiJoinNode(PlanNode):
+    """Equi-semi-join: emit each left row at most once if the right
+    input has at least one key match.
+
+    The semi-join reduction for ``DISTINCT`` over a join: when the
+    reduced relation contributes nothing to the output (no output,
+    ORDER BY, or residual reference) and no later join edge needs its
+    bindings, DISTINCT makes join multiplicity invisible, so an
+    existence check is set-equivalent to the full join.  The right
+    input collapses to a key *set* (no environment lists, no
+    :class:`_EnvMerger` work) and left rows stream through unduplicated
+    — the downstream :class:`DistinctNode` sees exactly the left row
+    set, in left order.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    left_key: JoinKey
+    right_key: JoinKey
+
+    def __post_init__(self) -> None:
+        self._left_key_fn = _compile_key(self.left_key)
+        self._right_key_fn = _compile_key(self.right_key)
+
+    def execute(self) -> Iterator[Env]:
+        right_key_fn = self._right_key_fn
+        keys = set()
+        for env in self.right.execute():
+            key = right_key_fn(env)
+            if key is not None:
+                keys.add(key)
+        left_key_fn = self._left_key_fn
+        for env in self.left.execute():
+            if left_key_fn(env) in keys:
+                yield env
+
+    def describe(self) -> str:
+        return (
+            f"HashSemiJoin({_render_key(self.left_key)} = "
+            f"{_render_key(self.right_key)})"
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+
 def _probe_key_range(
     prefix: Tuple[Any, ...],
     width: int,
@@ -579,8 +627,9 @@ class IndexNestedLoopJoin(PlanNode):
         eq_len = len(self.left_exprs)
         table, alias = self.table, self.alias
         key_fn, residual = self._key_fn, self._residual_fn
-        project = table.schema.project
-        lead = spec.columns[:eq_len]
+        lead_positions = tuple(
+            table.schema.column_index(column) for column in spec.columns[:eq_len]
+        )
         merger = _EnvMerger()
         left_iter = self.left.execute()
         while True:
@@ -606,7 +655,8 @@ class IndexNestedLoopJoin(PlanNode):
                         right_env = _env_from_row(table, row, alias)
                         if residual is not None and not residual(right_env):
                             continue
-                        for left_env in groups.get(project(row, lead), ()):
+                        probe_key = tuple(row[p] for p in lead_positions)
+                        for left_env in groups.get(probe_key, ()):
                             yield merger.merge(left_env, right_env)
                 else:
                     for key, envs in groups.items():

@@ -51,7 +51,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from math import log2
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .errors import UnknownTableError
 from .expr import (
@@ -75,6 +75,7 @@ from .plan import (
     DistinctNode,
     FilterNode,
     HashJoinNode,
+    HashSemiJoinNode,
     IndexEqScan,
     IndexMultiRangeScan,
     IndexNestedLoopJoin,
@@ -1951,6 +1952,87 @@ def _plan_joins(
     return _assemble_joins(relations, 0, steps), residual
 
 
+def _reducible_joins(
+    query: Query,
+    relations: Sequence[_Relation],
+    conditions: Sequence[_JoinCondition],
+    residual: Optional[Expr],
+) -> Dict[int, _JoinCondition]:
+    """Relations a DISTINCT query can *semi-join-reduce*, keyed by
+    relation index, each with its equality pairs oriented ``(kept side,
+    reduced side)``.
+
+    Under ``SELECT DISTINCT`` a joined relation that contributes nothing
+    downstream — no output, ORDER BY, or WHERE-residual reference, no
+    other join edge through its binding — only multiplies row
+    multiplicity, and DISTINCT erases multiplicity.  An existence check
+    (:class:`~repro.storage.plan.HashSemiJoinNode`) is therefore
+    set-equivalent to the full join, skips the reduced relation's
+    environment merging entirely, and never re-inflates the DISTINCT
+    input.  Checks are conservative by column *resolution*: a name that
+    could resolve on the reduced relation at runtime counts as a
+    reference, so ambiguous unqualified columns disqualify."""
+    if not query.distinct or query.outputs is None:
+        return {}
+    if query.aggregates or query.group_by or query.having is not None:
+        return {}
+
+    def resolvers(exprs: Iterable[Expr]) -> Set[int]:
+        touched: Set[int] = set()
+        for expr in exprs:
+            for name in expr.columns():
+                touched.update(_owners(name, relations))
+        return touched
+
+    downstream: List[Expr] = [expr for _name, expr in query.outputs]
+    downstream.extend(expr for expr, _asc in query.order_by)
+    if residual is not None:
+        downstream.append(residual)
+    outside = resolvers(downstream)
+
+    reduced: Dict[int, _JoinCondition] = {}
+    for condition in conditions:
+        idx = condition.right
+        if idx in outside or condition.residual is not None or not condition.pairs:
+            continue
+        oriented: List[Tuple[Expr, Expr]] = []
+        for left, right in condition.pairs:
+            if not (isinstance(left, Col) and isinstance(right, Col)):
+                break
+            left_owners = _owners(left.name, relations)
+            right_owners = _owners(right.name, relations)
+            if right_owners == [idx] and left_owners and idx not in left_owners:
+                oriented.append((left, right))
+            elif left_owners == [idx] and right_owners and idx not in right_owners:
+                oriented.append((right, left))
+            else:
+                break
+        else:
+            other_exprs: List[Expr] = []
+            for other in conditions:
+                if other.right == idx:
+                    continue
+                other_exprs.extend(expr for pair in other.pairs for expr in pair)
+                if other.residual is not None:
+                    other_exprs.append(other.residual)
+            if idx not in resolvers(other_exprs):
+                reduced[idx] = _JoinCondition(idx, oriented, None)
+
+    # A reduced relation's kept-side keys must evaluate on the surviving
+    # join tree: drop candidates keyed through another reduced relation.
+    changed = True
+    while changed:
+        changed = False
+        for idx, condition in list(reduced.items()):
+            for kept_expr, _reduced_expr in condition.pairs:
+                owners = set(_owners(kept_expr.name, relations))  # type: ignore[union-attr]
+                if owners & (reduced.keys() - {idx}):
+                    del reduced[idx]
+                    changed = True
+                    break
+    return reduced
+
+
 def _naive_join_plan(
     relations: Sequence[_Relation], conditions: Sequence[_JoinCondition]
 ) -> PlanNode:
@@ -2055,7 +2137,33 @@ def _plan_query_impl(
         if naive:
             node = _naive_join_plan(relations, conditions)
         else:
-            node, residual = _plan_joins(relations, conditions, residual)
+            reduced = _reducible_joins(query, relations, conditions, residual)
+            if reduced:
+                keep = [i for i in range(len(relations)) if i not in reduced]
+                remap = {old: new for new, old in enumerate(keep)}
+                kept_relations = [relations[i] for i in keep]
+                kept_conditions = [
+                    _JoinCondition(remap[cond.right], cond.pairs, cond.residual)
+                    for cond in conditions
+                    if cond.right not in reduced
+                ]
+                if kept_conditions:
+                    node, residual = _plan_joins(
+                        kept_relations, kept_conditions, residual
+                    )
+                else:
+                    node, _clean = _access_with_filter(kept_relations[0])
+                for idx in sorted(reduced):
+                    condition = reduced[idx]
+                    right_node, _clean = _access_with_filter(relations[idx])
+                    node = HashSemiJoinNode(
+                        node,
+                        right_node,
+                        tuple(kept for kept, _red in condition.pairs),
+                        tuple(red for _kept, red in condition.pairs),
+                    )
+            else:
+                node, residual = _plan_joins(relations, conditions, residual)
 
     if residual is not None:
         node = FilterNode(node, residual)

@@ -96,11 +96,17 @@ class TableSchema:
                 if column not in self._positions:
                     raise SchemaError(f"index column {column!r} not in table {name!r}")
         self.indexes: Tuple[IndexSpec, ...] = tuple(indexes)
+        # precomputed once: row->env construction touches this per row on
+        # every scan and join probe, so a fresh per-call tuple shows up
+        # directly in the hot-path profiles
+        self._column_names: Tuple[str, ...] = tuple(
+            column.name for column in self.columns
+        )
 
     # ------------------------------------------------------------------
     @property
     def column_names(self) -> Tuple[str, ...]:
-        return tuple(column.name for column in self.columns)
+        return self._column_names
 
     def column(self, name: str) -> Column:
         try:

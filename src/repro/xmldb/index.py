@@ -1,24 +1,24 @@
-"""Element-label index for the XML store, built on the storage engine's
-blocked :class:`~repro.storage.index.OrderedIndex`.
+"""Element-label index for the XML store — a thin view over the store's
+``(base_label, pre)`` interval-encoding index.
 
 Native XML databases (Timber among them) keep element indexes so that
 descendant queries (``//interaction``) need not walk the whole tree.
-:class:`ElementIndex` maintains a ``(label,) → node id`` ordered index
-incrementally as an observer of an :class:`~repro.xmldb.store.
-XMLDatabase`, and :func:`evaluate_indexed` runs the XPath subset against
-the store using the index for descendant steps.
-
-Until PR 3 the index was a hand-rolled ``dict[str, set]``; it now reuses
-the storage layer's index objects so all three layers (relational
-tables, XML view, datalog facts) share one index implementation, one
-maintenance path, and one bulk-build entry point (see
-``docs/ARCHITECTURE.md``).  Lookups are blocked range scans, label
-enumeration streams the index in order, and the initial build over an
-already-populated store is a single sort-then-chunk
-:meth:`~repro.storage.index.OrderedIndex.bulk_build`.
+Until PR 9 :class:`ElementIndex` *maintained its own* ``(label,) → node
+id`` ordered index as a store observer; the interval encoding
+(:mod:`repro.xmldb.store`) now keeps a ``(base_label, pre)``
+:class:`~repro.storage.index.OrderedIndex` as part of the store itself,
+so the element index degenerates to a read-only view: no duplicate
+maintenance path, no rebuild, nothing to desynchronize.  Lookups are
+blocked range scans of the shared index, streamed in document (``pre``)
+order.
 
 Keyed edge labels (``interaction{3}``) index under their *base* label
 (``interaction``), so ``//interaction`` finds every keyed instance.
+
+:func:`evaluate_indexed` runs the XPath subset against the store by
+compiling every step to interval range/multi-range scans
+(:mod:`repro.xmldb.axes`) — descendant steps are staircase-pruned
+multi-range sweeps rather than anchor-label candidate filtering.
 """
 
 from __future__ import annotations
@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Iterator, List, Set
 
 from ..core.paths import Path
-from ..storage.index import OrderedIndex
+from ..storage.index import MAX_KEY, MIN_KEY
 from .store import NodeId, XMLDatabase
 from .xpath import XPath, base_label
 
@@ -34,64 +34,44 @@ __all__ = ["ElementIndex", "evaluate_indexed", "base_label"]
 
 
 class ElementIndex:
-    """``(label,) → node ids``, kept in sync with the store via its hooks.
+    """``(label,) → node ids``, answered straight off the store's
+    ``(base_label, pre)`` encoding index.
 
-    The entries live in a storage-layer :class:`OrderedIndex` keyed by
-    the one-column tuple ``(base_label,)`` with the node id in the row-id
-    slot — exactly the shape a relational secondary index has, so every
-    lifecycle operation (bulk build, incremental maintenance, ordered
-    streaming) is inherited rather than re-implemented.
+    The class survives as the stable lookup API (and the shape a
+    relational secondary index has); since the store now owns the index,
+    every lifecycle event — bulk build, incremental maintenance,
+    renumber rebuilds — is the store's, and this view can never lag it.
     """
 
     def __init__(self, db: XMLDatabase) -> None:
         self.db = db
-        self._index = OrderedIndex(f"{db.name}_labels")
-        self._rebuild()
-        db.add_observer(self)
-
-    # ------------------------------------------------------------------
-    def _rebuild(self) -> None:
-        """Bulk-build the index from the store's current contents (one
-        sort over all edges — the O(n log n) initial-population path)."""
-        entries = []
-        for path, _value in self.db.iter_paths():
-            if path.is_root:
-                continue
-            entries.append(((base_label(path.last),), self.db.resolve(path)))
-        self._index = OrderedIndex.bulk_build(self._index.name, entries)
-
-    # observer hooks ----------------------------------------------------
-    def node_added(self, node_id: NodeId, label: str) -> None:
-        self._index.insert((base_label(label),), node_id)
-
-    def node_removed(self, node_id: NodeId, label: str) -> None:
-        self._index.delete((base_label(label),), node_id)
 
     # ------------------------------------------------------------------
     def lookup(self, label: str) -> Set[NodeId]:
         """Node ids whose (base) edge label is ``label``."""
-        return self._index.lookup((label,))
+        return set(self.lookup_iter(label))
 
     def lookup_iter(self, label: str) -> Iterator[NodeId]:
-        """Node ids for ``label``, streamed in ascending id order
+        """Node ids for ``label``, streamed in document (pre) order
         without materializing the set."""
-        return self._index.lookup_iter((label,))
+        self.db.access_counts["range_scan"] += 1
+        return self.db._label_index.range((label, MIN_KEY), (label, MAX_KEY))
 
     def labels(self) -> List[str]:
         """All distinct (base) labels, sorted — a streaming pass over
         the ordered index, not a dict-keys copy."""
         out: List[str] = []
-        for (label,), _node_id in self._index.items():
+        for (label, _pre), _node_id in self.db._label_index.items():
             if not out or out[-1] != label:
                 out.append(label)
         return out
 
     def count(self, label: str) -> int:
         """Number of live nodes under ``label`` (blocked range scan)."""
-        return sum(1 for _ in self._index.lookup_iter((label,)))
+        return sum(1 for _ in self.lookup_iter(label))
 
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self.db._label_index)
 
 
 def evaluate_indexed(
@@ -99,38 +79,10 @@ def evaluate_indexed(
 ) -> List[Path]:
     """Evaluate an XPath-subset expression against the store.
 
-    Descendant steps (``//label``) resolve through the element index —
-    candidate node ids come straight from the index (via
-    :meth:`XPath.anchor_label`), then each candidate's unique path is
-    matched against the full expression.  Expressions without a concrete
-    descendant label fall back to the generic tree evaluation."""
-    xpath = XPath(expression)
-    anchor = xpath.anchor_label()
-    if anchor is None:
-        return xpath.evaluate(db.subtree(Path()))
-
-    results: Set[Path] = set()
-    tree = None
-    for node_id in index.lookup_iter(anchor):
-        path = db.path_of(node_id)
-        # candidate paths that structurally match contribute; predicates
-        # still need node content, so check against the exported subtree
-        if not xpath.matches(path):
-            # the anchor may be an inner step; try every extension of the
-            # candidate path by evaluating below it only when the prefix
-            # could still match (cheap reject)
-            continue
-        if any(step.predicate is not None for step in xpath.steps):
-            if tree is None:
-                tree = db.subtree(Path())
-            if path not in set(xpath.evaluate(tree)):
-                continue
-        results.add(path)
-    # anchored evaluation misses matches where the anchor step is not the
-    # final step; fall back for those shapes
-    if xpath.steps and (xpath.steps[-1].descendant is False or xpath.steps[-1].label != anchor):
-        last = xpath.steps[-1]
-        if last.label != anchor:
-            tree = tree if tree is not None else db.subtree(Path())
-            results.update(xpath.evaluate(tree))
-    return sorted(results, key=Path.sort_key)
+    Every step — child, descendant, wildcard, predicate — compiles to
+    interval predicates over the encoding indexes
+    (:meth:`XPath.evaluate_store`); there is no anchor-label special
+    case and no full-tree fallback any more.  ``index`` is accepted for
+    API compatibility (it views the same store index the evaluation
+    scans)."""
+    return XPath(expression).evaluate_store(db)

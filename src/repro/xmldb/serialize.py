@@ -26,13 +26,27 @@ def tree_from_xml(xml_text: str, specs: Sequence[KeySpec] = ()) -> Tree:
 
 
 def tree_to_xml(tree: Tree, root_tag: str = "db", indent: int = 0) -> str:
-    """Render a keyed tree as XML text."""
+    """Render a keyed tree as XML text.
+
+    Iterative (explicit work stack, closing tags pushed as sentinel
+    frames) so arbitrarily deep trees — deep copy chains are routine in
+    curated databases — cannot exhaust the Python recursion limit, the
+    same treatment ``XMLDatabase.iter_paths``/``_export`` got."""
     lines: List[str] = []
-    _render(tree, root_tag, indent, lines)
+    # frame: (tree, tag, depth) to open, or (None, closing_line, _) sentinel
+    stack: List[tuple] = [(tree, root_tag, indent)]
+    while stack:
+        node, tag, depth = stack.pop()
+        if node is None:
+            lines.append(tag)
+            continue
+        _render_node(node, tag, depth, lines, stack)
     return "\n".join(lines)
 
 
-def _render(tree: Tree, tag: str, depth: int, lines: List[str]) -> None:
+def _render_node(
+    tree: Tree, tag: str, depth: int, lines: List[str], stack: List[tuple]
+) -> None:
     pad = "  " * depth
     match = _KEYED_RE.match(tag)
     attrs = ""
@@ -70,6 +84,6 @@ def _render(tree: Tree, tag: str, depth: int, lines: List[str]) -> None:
     lines.append(f"{pad}<{tag}{attrs}>")
     if text is not None:
         lines.append(f"{pad}  {escape(text)}")
-    for label, child in plain_children:
-        _render(child, label, depth + 1, lines)
-    lines.append(f"{pad}</{tag}>")
+    stack.append((None, f"{pad}</{tag}>", depth))
+    for label, child in reversed(plain_children):
+        stack.append((child, label, depth + 1))

@@ -150,6 +150,16 @@ class XPath:
         paths = sorted({path for path, _node in current}, key=Path.sort_key)
         return paths
 
+    def evaluate_store(self, db) -> List[Path]:
+        """Evaluate against an :class:`~repro.xmldb.store.XMLDatabase`
+        through the interval encoding (:mod:`repro.xmldb.axes`): every
+        step — child or descendant, labelled or wildcard — is compiled
+        to an index range/multi-range predicate instead of the
+        level-by-level walk :meth:`evaluate` performs on value trees."""
+        from .axes import evaluate_xpath
+
+        return evaluate_xpath(db, self)
+
     def anchor_label(self) -> Optional[str]:
         """The first concrete descendant-step label, or ``None``.
 

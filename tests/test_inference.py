@@ -107,6 +107,27 @@ class TestInferAt:
         )
         assert infer_at(table, 6, Path.parse("T/a/b")) is None
 
+    def test_deep_chain_is_one_probe_pass(self):
+        """The whole ancestor chain resolves in one batched probe: one
+        join probe batch and one presorted multi-range index pass on the
+        ``(loc, tid)`` index — never a round trip per ancestor, and no
+        full scans or per-loc point lookups regardless of depth."""
+        table = ProvTable()
+        table.write_statement(
+            [ProvRecord(5, "C", Path.parse("T/a"), Path.parse("S/x"))], "paste"
+        )
+        loc = Path.parse("T/a/" + "/".join(["b"] * 40))
+        counts = table._table.access_counts
+        before = dict(counts)
+        record = infer_at(table, 5, loc)
+        assert record is not None and record.op == "C"
+        assert record.src == Path.parse("S/x/" + "/".join(["b"] * 40))
+        assert counts["inlj_probe"] == before["inlj_probe"] + 1
+        assert counts["multi_range_scan"] == before["multi_range_scan"] + 1
+        assert counts["scan"] == before["scan"]
+        assert counts["eq_lookup"] == before["eq_lookup"]
+        assert counts["range_scan"] == before["range_scan"]
+
 
 class TestExpandFigure5:
     """Expanding Figure 5(c) must give 5(a); expanding 5(d) gives 5(b)."""

@@ -1106,3 +1106,204 @@ class TestNullProbeRegressions:
         assert list(plan_query(db.tables, query).execute()) == []
         assert_plan_equivalent(db, query)
         assert db.delete_where("n", Cmp("=", Col("c"), Const(None))) == 0
+
+
+# ----------------------------------------------------------------------
+# Semi-join reduction (DISTINCT over join)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def semijoin_queries(draw) -> Query:
+    """Query shapes orbiting the semi-join reduction's applicability
+    boundary: always a join from ``t`` to ``u`` (sometimes also ``v``),
+    usually DISTINCT with outputs confined to ``p`` — the reducible
+    shape — but each disqualifier (a ``q`` output reference, an ORDER BY
+    through the joined binding, DISTINCT off) is drawn in deliberately
+    so the differential check covers both the reduced and unreduced
+    plans of near-identical queries."""
+
+    def oriented(pair):
+        left, right = pair
+        return (right, left) if draw(st.booleans()) else (left, right)
+
+    first = oriented(draw(st.sampled_from([(Col("p.a"), Col("q.a")), (Col("p.b"), Col("q.c"))])))
+    joins = [JoinSpec(TableRef("u", "q"), first[0], first[1])]
+    if draw(st.booleans()):
+        v_pair = oriented((Col("p.b"), Col("r.b")))
+        joins.append(JoinSpec(TableRef("v", "r"), v_pair[0], v_pair[1]))
+    outputs = [(c, Col(c)) for c in ("p.a", "p.b", "p.s") if draw(st.booleans())] or [
+        ("p.a", Col("p.a"))
+    ]
+    if draw(st.integers(0, 3)) == 0:
+        outputs.append(("q.c", Col("q.c")))  # disqualifier: q escapes
+    where_parts = []
+    if draw(st.booleans()):
+        where_parts.append(
+            Cmp(draw(st.sampled_from(["=", "<", ">="])), Col("p.a"), Const(draw(_small_ints)))
+        )
+    if draw(st.integers(0, 3)) == 0:
+        # local predicate on the reduced side: legal, stays inside the
+        # semi-join's right input
+        where_parts.append(Cmp("=", Col("q.c"), Const(draw(_small_ints))))
+    where = None
+    if len(where_parts) == 1:
+        where = where_parts[0]
+    elif where_parts:
+        where = And(*where_parts)
+    order_by = []
+    if draw(st.booleans()):
+        order_by = [(Col(name), draw(st.booleans())) for name, _expr in outputs]
+    return Query(
+        TableRef("t", "p"),
+        joins=joins,
+        where=where,
+        outputs=outputs,
+        order_by=order_by,
+        distinct=draw(st.integers(0, 3)) != 0,
+    )
+
+
+class TestSemiJoinDifferential:
+    @given(db=join_databases(), query=semijoin_queries())
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        **_PROFILE,
+    )
+    def test_semijoin_shapes_match_oracle(self, db: Database, query: Query) -> None:
+        assert_plan_equivalent(db, query)
+        # the reduction must actually fire on the fully reducible shape
+        names = {name for name, _expr in query.outputs}
+        order_names = {expr.name for expr, _asc in query.order_by}
+        if query.distinct and all(n.startswith("p.") for n in names | order_names):
+            assert "HashSemiJoin" in explain(plan_query(db.tables, query))
+
+
+class TestSemiJoinRegressions:
+    """Deterministic reduction shapes worth pinning."""
+
+    def _db(self, *, indexes: bool = False) -> Database:
+        db = Database("semi")
+        t_indexes = (IndexSpec("ix_a", ("a",), ordered=True),) if indexes else ()
+        t = db.create_table(_schema(t_indexes))
+        for row in [(1, 4, "ab", None), (1, 2, "ab/c", 3), (2, 0, "a", 0), (3, 3, "b/x", 5)]:
+            t.insert(row)
+        u = db.create_table(_u_schema(()))
+        for row in [(1, 9), (1, 3), (1, 0), (3, 3), (4, 3)]:
+            u.insert(row)
+        v = db.create_table(_v_schema(()))
+        for row in [(2, 3), (4, 9)]:
+            v.insert(row)
+        return db
+
+    def test_distinct_over_join_reduces_to_semi_join(self):
+        """The explain snapshot: DISTINCT + outputs confined to ``p``
+        turns the join into an existence check, and the duplicate-heavy
+        build side never inflates the DISTINCT input."""
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a"))],
+            outputs=[("a", Col("p.a")), ("s", Col("p.s"))],
+            distinct=True,
+        )
+        plan = plan_query(db.tables, query)
+        assert explain(plan) == (
+            "Distinct\n"
+            "  Project(a, s)\n"
+            "    HashSemiJoin(Col(name='p.a') = Col(name='q.a'))\n"
+            "      SeqScan(t)\n"
+            "      SeqScan(u)"
+        )
+        got = sorted((row["a"], row["s"]) for row in plan.execute())
+        assert got == [(1, "ab"), (1, "ab/c"), (3, "b/x")]
+        assert_plan_equivalent(db, query)
+
+    def test_output_reference_blocks_reduction(self):
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a"))],
+            outputs=[("a", Col("p.a")), ("c", Col("q.c"))],
+            distinct=True,
+        )
+        rendered = explain(plan_query(db.tables, query))
+        assert "HashSemiJoin" not in rendered and "Join" in rendered
+        assert_plan_equivalent(db, query)
+
+    def test_order_by_reference_blocks_reduction(self):
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a"))],
+            outputs=[("a", Col("p.a"))],
+            order_by=[(Col("q.c"), False)],
+            distinct=True,
+        )
+        assert "HashSemiJoin" not in explain(plan_query(db.tables, query))
+
+    def test_where_residual_reference_blocks_reduction(self):
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a"))],
+            where=Cmp("<", Col("p.b"), Col("q.c")),  # cross-binding non-equi
+            outputs=[("a", Col("p.a"))],
+            distinct=True,
+        )
+        assert "HashSemiJoin" not in explain(plan_query(db.tables, query))
+        assert_plan_equivalent(db, query)
+
+    def test_without_distinct_no_reduction(self):
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a"))],
+            outputs=[("a", Col("p.a"))],
+        )
+        assert "HashSemiJoin" not in explain(plan_query(db.tables, query))
+        assert_plan_equivalent(db, query)
+
+    def test_chained_edge_keeps_bridge_reduces_leaf(self):
+        """t-u-v chain where v joins through q: q's bindings feed a later
+        edge, so only the true leaf v is reduced."""
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[
+                JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a")),
+                JoinSpec(TableRef("v", "r"), Col("q.c"), Col("r.d")),
+            ],
+            outputs=[("a", Col("p.a"))],
+            distinct=True,
+        )
+        rendered = explain(plan_query(db.tables, query))
+        assert rendered.count("HashSemiJoin") == 1
+        assert "SeqScan(v)" in rendered
+        assert_plan_equivalent(db, query)
+
+    def test_local_predicate_stays_inside_reduced_side(self):
+        db = self._db()
+        query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("p.a"), Col("q.a"))],
+            where=Cmp("=", Col("q.c"), Const(3)),
+            outputs=[("a", Col("p.a")), ("b", Col("p.b"))],
+            distinct=True,
+        )
+        plan = plan_query(db.tables, query)
+        assert "HashSemiJoin" in explain(plan)
+        got = sorted((row["a"], row["b"]) for row in plan.execute())
+        assert got == [(1, 2), (1, 4), (3, 3)]
+        assert_plan_equivalent(db, query)
+
+    def test_reversed_on_operands_still_reduce(self):
+        db = self._db(indexes=True)
+        query = Query(
+            TableRef("t", "p"),
+            joins=[JoinSpec(TableRef("u", "q"), Col("q.a"), Col("p.a"))],
+            outputs=[("s", Col("p.s"))],
+            distinct=True,
+        )
+        assert "HashSemiJoin" in explain(plan_query(db.tables, query))
+        assert_plan_equivalent(db, query)

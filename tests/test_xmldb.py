@@ -145,6 +145,34 @@ class TestKeyedViews:
         again = keyed_view(xml, [KeySpec("protein", "@key")])
         assert again.contains_path("protein{P1}")
 
+    def test_serialize_deep_chain_stays_iterative(self):
+        # a chain far past the recursion limit: the renderer must not
+        # recurse per level (regression for the recursive _render)
+        depth = 4000
+        nested = Tree.empty()
+        nested.add_child("v", Tree.leaf(1))
+        for level in range(depth):
+            wrapper = Tree.empty()
+            wrapper.add_child(f"n{level}", nested)
+            nested = wrapper
+        tree = nested
+        xml = tree_to_xml(tree)
+        assert xml.count("<v>") == 1
+        assert xml.splitlines()[-1] == "</db>"
+        # sibling order and nesting survive the iterative rewrite
+        shallow = Tree.from_dict({"b": {"y": 2}, "a": {"x": 1}, "c": None})
+        assert tree_to_xml(shallow).splitlines() == [
+            "<db>",
+            "  <a>",
+            "    <x>1</x>",
+            "  </a>",
+            "  <b>",
+            "    <y>2</y>",
+            "  </b>",
+            "  <c/>",
+            "</db>",
+        ]
+
 
 class TestXPath:
     TREE = Tree.from_dict({

@@ -1,0 +1,388 @@
+"""Property and regression tests for the interval-encoded hierarchy.
+
+The central differential property: every axis answered off the ``(pre,
+post, level)`` encoding — by :func:`repro.xmldb.axes.axis_ids` and the
+XPath evaluator built on it — must agree *exactly* (same ids, same
+document order) with a naive oracle that walks the store's pointer
+structure.  The pointer structure is maintained independently of the
+encoding indexes, so a drift between the two is exactly the class of
+bug this harness hunts.
+
+Deterministic regressions pin the mechanics around the property: gap
+exhaustion triggering renumbers (and ``structure_version`` bumps),
+arbitrarily deep chains staying iterative, and ``delete_node``
+notifying observers for *every* removed descendant so secondary
+structures can never desynchronize.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.paths import Path
+from repro.core.tree import Tree
+from repro.xmldb.axes import AXES, axis_ids, evaluate_xpath
+from repro.xmldb.index import ElementIndex
+from repro.xmldb.store import XMLDatabase, XMLDBError
+from repro.xmldb.xpath import XPath, base_label
+
+# ----------------------------------------------------------------------
+# Profiles: CI runs a fixed derandomized budget (bounded wall time);
+# local runs keep the default randomized search.
+# ----------------------------------------------------------------------
+
+_PROFILES = {
+    "default": {"max_examples": 80, "deadline": None},
+    "ci": {"max_examples": 200, "deadline": None, "derandomize": True},
+}
+_PROFILE = _PROFILES.get(
+    os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"), _PROFILES["default"]
+)
+
+#: A deliberately collision-heavy label pool: repeated base labels and
+#: keyed instances (``a{1}`` shares its base with ``a``), so label
+#: filters, sibling ordering, and the ``(base_label, pre)`` index all
+#: get exercised on the same names.
+_LABELS = ["a", "b", "c", "d", "a{1}", "a{2}", "b{k}"]
+_QUERY_LABELS = ["a", "b", "c", "d", "a{1}", "b{k}", "z"]
+
+
+def _tree_of(children: dict) -> Tree:
+    tree = Tree()
+    for label, child in children.items():
+        tree.children[label] = child
+    return tree
+
+
+def trees(max_leaves: int = 25) -> st.SearchStrategy[Tree]:
+    leaf = st.one_of(st.none(), st.integers(-5, 5), st.sampled_from(["v", "w"]))
+    return st.recursive(
+        leaf.map(lambda value: Tree(value=value)),
+        lambda children: st.dictionaries(
+            st.sampled_from(_LABELS), children, max_size=4
+        ).map(_tree_of),
+        max_leaves=max_leaves,
+    )
+
+
+def xpaths() -> st.SearchStrategy[str]:
+    step = st.sampled_from(["a", "b", "c", "d", "*", "a{1}", "b{k}"])
+    seps = st.sampled_from(["/", "//"])
+    return st.builds(
+        lambda lead, first, pairs: lead + first + "".join(s + l for s, l in pairs),
+        st.sampled_from(["", "//"]),
+        step,
+        st.lists(st.tuples(seps, step), max_size=2),
+    )
+
+
+# ----------------------------------------------------------------------
+# The naive full-walk oracle (pointer structure only — no indexes)
+# ----------------------------------------------------------------------
+
+
+def _children(db: XMLDatabase, nid: int) -> List[int]:
+    node = db._nodes[nid]
+    return [child_id for _label, child_id in sorted(node.children.items())]
+
+
+def _preorder(db: XMLDatabase, nid: int) -> List[int]:
+    out: List[int] = []
+    stack = list(reversed(_children(db, nid)))
+    while stack:
+        cur = stack.pop()
+        out.append(cur)
+        stack.extend(reversed(_children(db, cur)))
+    return out
+
+
+def _ancestor_chain(db: XMLDatabase, nid: int) -> List[int]:
+    """Ancestors nearest-first, ending at the document root."""
+    out: List[int] = []
+    parent = db._nodes[nid].parent
+    while parent is not None:
+        out.append(parent)
+        parent = db._nodes[parent].parent
+    return out
+
+
+def _oracle_axis(
+    db: XMLDatabase, nid: int, axis: str, label: Optional[str]
+) -> List[int]:
+    node = db._nodes[nid]
+    if axis == "child":
+        out = _children(db, nid)
+    elif axis == "descendant":
+        out = _preorder(db, nid)
+    elif axis == "descendant-or-self":
+        out = [nid] + _preorder(db, nid)
+    elif axis == "parent":
+        out = [] if node.parent is None else [node.parent]
+    elif axis == "ancestor":
+        out = list(reversed(_ancestor_chain(db, nid)))
+    elif axis == "ancestor-or-self":
+        out = list(reversed([nid] + _ancestor_chain(db, nid)))
+    elif axis == "following-sibling":
+        if node.parent is None:
+            out = []
+        else:
+            siblings = _children(db, node.parent)
+            out = siblings[siblings.index(nid) + 1:]
+    elif axis == "preceding-sibling":
+        if node.parent is None:
+            out = []
+        else:
+            siblings = _children(db, node.parent)
+            out = siblings[: siblings.index(nid)]
+    elif axis == "following":
+        doc = _preorder(db, db.ROOT_ID)
+        inside = {nid} | set(_preorder(db, nid))
+        position = doc.index(nid) if nid != db.ROOT_ID else -1
+        out = [n for n in doc[position + 1:] if n not in inside]
+    elif axis == "preceding":
+        doc = _preorder(db, db.ROOT_ID)
+        above = set(_ancestor_chain(db, nid))
+        position = doc.index(nid) if nid != db.ROOT_ID else 0
+        out = [n for n in doc[:position] if n not in above]
+    else:  # pragma: no cover - exhaustive over AXES
+        raise AssertionError(axis)
+    if label is not None:
+        out = [
+            n
+            for n in out
+            if db._nodes[n].label == label or base_label(db._nodes[n].label) == label
+        ]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Differential properties
+# ----------------------------------------------------------------------
+
+
+class TestAxisDifferential:
+    @given(tree=trees(), data=st.data())
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        **_PROFILE,
+    )
+    def test_axis_ids_match_pointer_oracle(self, tree: Tree, data) -> None:
+        """Interval evaluation of every axis equals the naive pointer
+        walk — same node ids *and* the same document order (list
+        equality subsumes the multiset check)."""
+        db = XMLDatabase()
+        db.load_tree(tree)
+        nid = data.draw(st.sampled_from(sorted(db._nodes)))
+        axis = data.draw(st.sampled_from(AXES))
+        label = data.draw(st.one_of(st.none(), st.sampled_from(_QUERY_LABELS)))
+        assert axis_ids(db, nid, axis, label) == _oracle_axis(db, nid, axis, label)
+
+    @given(tree=trees(), expression=xpaths())
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        **_PROFILE,
+    )
+    def test_evaluate_store_matches_tree_walk(self, tree: Tree, expression: str) -> None:
+        """The store evaluator (interval scans) and the value-tree
+        evaluator (full walk) agree on every expression — including the
+        result order, which both sides emit in ``Path.sort_key`` (=
+        document) order without a final sort on the store side."""
+        db = XMLDatabase()
+        db.load_tree(tree)
+        xp = XPath(expression)
+        before = dict(db.access_counts)
+        got = xp.evaluate_store(db)
+        after = dict(db.access_counts)
+        assert got == xp.evaluate(db.subtree(Path()))
+        # the answer came off the encoding indexes, never a tree walk
+        assert after["multi_range_scan"] > before["multi_range_scan"]
+
+    @given(tree=trees(max_leaves=12), data=st.data())
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        **_PROFILE,
+    )
+    def test_mutation_churn_keeps_encoding_valid(self, tree: Tree, data) -> None:
+        """Random add/delete/paste churn against a tiny-spacing store
+        (so renumbers fire constantly): the encoding invariants hold
+        after every step, document order stays sorted-path order, and a
+        random axis still matches the oracle at the end."""
+        db = XMLDatabase(spacing=4)
+        db.load_tree(tree)
+        for _ in range(data.draw(st.integers(1, 6))):
+            op = data.draw(st.sampled_from(["add", "delete", "paste"]))
+            listing = [
+                (path, value) for path, value in db.iter_paths() if not path.is_root
+            ]
+            paths = [path for path, _value in listing]
+            # adds and pastes hang off *container* nodes (value None)
+            containers = [Path()] + [path for path, value in listing if value is None]
+            if op == "add":
+                parent = data.draw(st.sampled_from(containers))
+                taken = db.children_of(db.resolve(parent))
+                free = [label for label in _LABELS + ["x", "y"] if label not in taken]
+                if free:
+                    db.add_node(parent, data.draw(st.sampled_from(free)), 1)
+            elif op == "delete" and paths:
+                db.delete_node(data.draw(st.sampled_from(paths)))
+            elif op == "paste":
+                parent = data.draw(st.sampled_from(containers))
+                label = data.draw(st.sampled_from(_LABELS))
+                db.paste_node(parent.child(label), data.draw(trees(max_leaves=4)))
+            db.check_encoding()
+        listed = [path for path, _value in db.iter_paths()]
+        assert listed == sorted(listed, key=Path.sort_key)
+        assert listed[0].is_root  # document order starts at the root
+        nid = data.draw(st.sampled_from(sorted(db._nodes)))
+        axis = data.draw(st.sampled_from(AXES))
+        assert axis_ids(db, nid, axis) == _oracle_axis(db, nid, axis, None)
+
+
+# ----------------------------------------------------------------------
+# Deterministic regressions
+# ----------------------------------------------------------------------
+
+
+def _chain_db(depth: int) -> "tuple[XMLDatabase, Path]":
+    db = XMLDatabase()
+    path = Path()
+    for level in range(depth):
+        db.add_node(path, "a", 7 if level == depth - 1 else None)
+        path = path.child("a")
+    return db, path
+
+
+class TestDeepChains:
+    """Regressions for the satellite guarantee: no store traversal may
+    recurse, so chains far past ``sys.getrecursionlimit()`` work."""
+
+    DEPTH = 1500
+
+    def test_deep_chain_stays_iterative(self):
+        db, deepest = _chain_db(self.DEPTH)
+        assert db.node_count() == self.DEPTH + 1
+        paths = [path for path, _value in db.iter_paths() if not path.is_root]
+        assert len(paths) == self.DEPTH
+        assert paths[-1] == deepest
+        # subtree export and path reconstruction are iterative too
+        nid = db.resolve(deepest)
+        assert db.path_of(nid) == deepest
+        assert db.level_of(nid) == self.DEPTH
+        assert db.value_of(nid) == 7
+        db.subtree(Path())  # must not raise RecursionError
+        assert len(db.ancestor_ids(nid)) == self.DEPTH  # staircase probes
+        db.check_encoding()
+
+    def test_deep_chain_delete_and_renumber(self):
+        db, _deepest = _chain_db(self.DEPTH)
+        assert db.access_counts["renumber"] > 0  # chains exhaust gaps
+        db.delete_node(Path.parse("a"))
+        assert db.node_count() == 1
+        assert [p for p, _v in db.iter_paths() if not p.is_root] == []
+        db.check_encoding()
+
+
+class TestRenumbering:
+    def test_gap_exhaustion_triggers_renumber(self):
+        db = XMLDatabase(spacing=4)
+        db.load_tree(Tree.from_dict({"hub": {}}))
+        version = db.structure_version
+        for index in range(60):
+            db.add_node("hub", f"n{index:03d}", index)
+        assert db.access_counts["renumber"] > 0
+        assert db.structure_version > version
+        db.check_encoding()
+        hub = db.resolve("hub")
+        children = db.child_ids(hub)
+        assert len(children) == 60
+        # document order survives every renumber: children come back in
+        # sorted-label order, which is their pre order
+        assert [db.label_of(nid) for nid in children] == [
+            f"n{index:03d}" for index in range(60)
+        ]
+
+    def test_spacing_floor_enforced(self):
+        with pytest.raises(XMLDBError):
+            XMLDatabase(spacing=3)
+
+    def test_check_encoding_detects_corruption(self):
+        db = XMLDatabase()
+        db.load_tree(Tree.from_dict({"a": {"b": 1}}))
+        db.check_encoding()
+        node = db._nodes[db.resolve("a/b")]
+        node.pre, node.post = node.post, node.pre  # break nesting
+        with pytest.raises(XMLDBError):
+            db.check_encoding()
+
+
+class _RecordingObserver:
+    def __init__(self) -> None:
+        self.added: List[tuple] = []
+        self.removed: List[tuple] = []
+
+    def node_added(self, node_id: int, label: str) -> None:
+        self.added.append((node_id, label))
+
+    def node_removed(self, node_id: int, label: str) -> None:
+        self.removed.append((node_id, label))
+
+
+class TestDeleteNotifications:
+    """``delete_node`` must notify observers for *every* removed node —
+    the whole doomed subtree, children before parents — or secondary
+    structures drift (the PR 9 desync audit)."""
+
+    def test_every_descendant_notified_exactly_once(self):
+        db = XMLDatabase()
+        db.load_tree(Tree.from_dict({
+            "top": {"a": {"x": 1, "y": 2}, "b": {"z": {"deep": 3}}},
+            "other": 9,
+        }))
+        observer = _RecordingObserver()
+        db.add_observer(observer)
+        doomed_root = db.resolve("top")
+        doomed = {doomed_root} | set(db.descendant_ids(doomed_root))
+        parent_of = {nid: db._nodes[nid].parent for nid in doomed}
+        db.delete_node("top")
+        removed_ids = [nid for nid, _label in observer.removed]
+        assert sorted(removed_ids) == sorted(doomed)
+        assert len(removed_ids) == len(set(removed_ids))  # exactly once
+        # children strictly before parents, so observers can tear down
+        # bottom-up without ever seeing a dangling child
+        position = {nid: index for index, nid in enumerate(removed_ids)}
+        for nid in removed_ids:
+            parent = parent_of[nid]
+            if parent in position:
+                assert position[nid] < position[parent]
+        assert removed_ids[-1] == doomed_root
+
+    def test_no_stale_index_entries_after_delete(self):
+        db = XMLDatabase()
+        db.load_tree(Tree.from_dict({
+            "top": {"a": {"x": 1}, "b": {"x": 2}},
+            "keep": {"x": 3},
+        }))
+        index = ElementIndex(db)
+        assert index.count("x") == 3
+        db.delete_node("top")
+        assert index.count("x") == 1
+        assert index.lookup("x") == {db.resolve("keep/x")}
+        assert evaluate_xpath(db, XPath("//x")) == [Path.parse("keep/x")]
+        db.check_encoding()
+
+    def test_paste_overwrite_notifies_removal_then_addition(self):
+        db = XMLDatabase()
+        db.load_tree(Tree.from_dict({"spot": {"old": 1}}))
+        observer = _RecordingObserver()
+        db.add_observer(observer)
+        db.paste_node("spot", Tree.from_dict({"new": {"leaf": 2}}))
+        removed_labels = sorted(label for _nid, label in observer.removed)
+        added_labels = sorted(label for _nid, label in observer.added)
+        assert removed_labels == ["old", "spot"]
+        assert added_labels == ["leaf", "new", "spot"]
+        db.check_encoding()

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repo links in the markdown docs.
+"""Fail on broken intra-repo links and missing required sections.
 
 Scans the given markdown files (default: README.md and everything under
 docs/) for inline links, keeps the relative ones (external URLs and
 pure in-page anchors are skipped), strips any ``#fragment``, and checks
-that each target exists relative to the linking file.  Exit status 1
-lists every broken link — the CI docs job runs this so the README and
-docs/ARCHITECTURE.md cannot drift away from the tree they describe.
+that each target exists relative to the linking file.  It also asserts
+that the load-bearing documents still carry their **required
+sections** (exact heading text, any heading level) — the sections CI
+and the README link into by anchor, so a rename or deletion fails the
+docs job instead of silently 404ing the anchor.  Exit status 1 lists
+every problem.
 """
 
 from __future__ import annotations
@@ -20,6 +23,45 @@ _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_FILES = ["README.md", *sorted(str(p) for p in (REPO_ROOT / "docs").glob("*.md"))]
+
+#: headings (exact text, any ``#`` level) that must exist — anchors the
+#: README, CI comments, and CHANGES.md point into
+REQUIRED_SECTIONS: dict[str, list[str]] = {
+    "README.md": [
+        "Index internals",
+        "The XML view: interval-encoded axes",
+        "Running the tests",
+        "Benchmarks",
+    ],
+    "docs/ARCHITECTURE.md": [
+        "The index lifecycle",
+        "Hierarchy encoding & XPath acceleration",
+        "Plan cache & the statistics epoch",
+        "Join planning & histograms",
+        "Durability & failure model",
+        "Concurrency & MVCC",
+    ],
+}
+
+
+def missing_sections(markdown_path: Path) -> list[str]:
+    try:
+        rel = str(markdown_path.relative_to(REPO_ROOT))
+    except ValueError:
+        rel = markdown_path.name
+    required = REQUIRED_SECTIONS.get(rel)
+    if not required:
+        return []
+    headings = {
+        line.lstrip("#").strip()
+        for line in markdown_path.read_text(encoding="utf-8").splitlines()
+        if line.startswith("#")
+    }
+    return [
+        f"{rel}: missing required section {title!r}"
+        for title in required
+        if title not in headings
+    ]
 
 
 def broken_links(markdown_path: Path) -> list[str]:
@@ -51,10 +93,14 @@ def main(argv: list[str]) -> int:
             problems.append(f"missing markdown file: {name}")
             continue
         problems.extend(broken_links(path))
+        problems.extend(missing_sections(path))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
-        print(f"ok: {len(files)} file(s), no broken intra-repo links")
+        print(
+            f"ok: {len(files)} file(s), no broken intra-repo links, "
+            "all required sections present"
+        )
     return 1 if problems else 0
 
 
